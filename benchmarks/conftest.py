@@ -1,0 +1,37 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates the data behind one figure of the paper.
+By default the drivers run at the ``smoke`` scale so the whole harness
+finishes quickly; set ``REPRO_BENCH_SCALE=fast`` (or ``paper``) to regenerate
+the figures at larger scales, and run with ``pytest -s`` to see the rendered
+series next to the timings.  EXPERIMENTS.md records reference output.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Scale level for all benchmark runs (smoke unless overridden)."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    """Root seed for all benchmark runs."""
+    return BENCH_SEED
+
+
+def run_experiment_once(benchmark, driver, scale, seed, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(
+        lambda: driver(scale=scale, seed=seed, **kwargs), iterations=1, rounds=1
+    )
+    print()
+    print(result.render())
+    return result

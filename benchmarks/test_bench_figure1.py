@@ -1,0 +1,13 @@
+"""Benchmark: Figure 1 — live-study funny-vote ratios with/without promotion."""
+
+from repro.experiments import figure1
+
+from conftest import run_experiment_once
+
+
+def test_bench_figure1_live_study(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(benchmark, figure1.run, bench_scale, bench_seed)
+    series = result.get_series("funny-vote ratio")
+    without_promotion, with_promotion = series.y
+    # Shape check from the paper: promotion improves the funny-vote ratio.
+    assert with_promotion > without_promotion

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 2 — exploration/exploitation trade-off trajectories."""
+
+from repro.experiments import figure2
+
+from conftest import run_experiment_once
+
+
+def test_bench_figure2_tradeoff(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(benchmark, figure2.run, bench_scale, bench_seed)
+    without = result.get_series("without rank promotion")
+    with_promo = result.get_series("with rank promotion")
+    # Early in the page's lifetime promotion must give at least as many visits
+    # (exploration benefit); the note records the two shaded areas.
+    assert with_promo.y[0] >= without.y[0]
+    assert float(result.notes["exploration_benefit_visits"]) > 0.0

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 3 — steady-state awareness distribution of top pages."""
+
+from repro.experiments import figure3
+
+from conftest import run_experiment_once
+
+
+def test_bench_figure3_awareness_distribution(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(benchmark, figure3.run, bench_scale, bench_seed)
+    baseline = result.series[0]
+    promoted = result.series[1]
+    # Shape check: selective promotion moves probability mass from the lowest
+    # awareness bin toward the highest one.
+    assert promoted.y[0] <= baseline.y[0]
+    assert promoted.y[-1] >= baseline.y[-1]

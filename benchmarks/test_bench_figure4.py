@@ -1,0 +1,29 @@
+"""Benchmark: Figure 4 — popularity evolution and TBP vs degree of randomization."""
+
+import numpy as np
+
+from repro.experiments import figure4
+
+from conftest import run_experiment_once
+
+
+def test_bench_figure4a_popularity_evolution(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(benchmark, figure4.run_panel_a, bench_scale, bench_seed)
+    none = np.array(result.get_series("no randomization").y)
+    selective = np.array(result.get_series("selective randomization").y)
+    uniform = np.array(result.get_series("uniform randomization").y)
+    # Shape check: promotion accelerates popularity growth, selective most.
+    assert selective.sum() >= uniform.sum() >= none.sum()
+
+
+def test_bench_figure4b_tbp_sweep(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(
+        benchmark, figure4.run_panel_b, bench_scale, bench_seed,
+        r_values=(0.0, 0.1, 0.2),
+    )
+    selective = result.get_series("selective (analysis)").y
+    uniform = result.get_series("uniform (analysis)").y
+    # Shape check: TBP decreases with r, and selective is at least as fast as
+    # uniform at the largest r.
+    assert selective[-1] <= selective[0]
+    assert selective[-1] <= uniform[-1] + 1e-9

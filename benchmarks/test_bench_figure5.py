@@ -1,0 +1,19 @@
+"""Benchmark: Figure 5 — QPC vs degree of randomization (analysis + simulation)."""
+
+from repro.experiments import figure5
+
+from conftest import run_experiment_once
+
+
+def test_bench_figure5_qpc_sweep(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(
+        benchmark, figure5.run, bench_scale, bench_seed, r_values=(0.0, 0.1, 0.2)
+    )
+    selective = result.get_series("selective (analysis)").y
+    uniform = result.get_series("uniform (analysis)").y
+    # Shape check from the paper: a moderate dose of randomization increases
+    # QPC, and selective promotion dominates uniform promotion.
+    assert selective[-1] > selective[0]
+    assert selective[-1] >= uniform[-1] - 1e-9
+    for value in selective + uniform:
+        assert 0.0 <= value <= 1.05

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 6 — QPC as both the starting point k and r vary."""
+
+from repro.experiments import figure6
+
+from conftest import run_experiment_once
+
+
+def test_bench_figure6_k_and_r(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(
+        benchmark, figure6.run, bench_scale, bench_seed,
+        k_values=(1, 2, 11), r_values=(0.0, 0.2, 0.6),
+    )
+    # Every measured QPC is a valid normalized value, and randomization at
+    # k=1 does not collapse result quality.
+    for series in result.series:
+        for value in series.y:
+            assert 0.0 <= value <= 1.05
+    k1 = result.get_series("k=1").y
+    assert max(k1) >= k1[0] * 0.9

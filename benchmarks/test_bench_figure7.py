@@ -1,0 +1,42 @@
+"""Benchmark: Figure 7 — robustness across community types (four panels)."""
+
+from repro.experiments import figure7
+
+from conftest import run_experiment_once
+
+
+def _check_all_valid(result):
+    for series in result.series:
+        for value in series.y:
+            assert 0.0 <= value <= 1.05
+
+
+def test_bench_figure7a_community_size(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(benchmark, figure7.run_community_size,
+                                 bench_scale, bench_seed)
+    _check_all_valid(result)
+    assert len(result.get_series("no randomization").y) >= 2
+
+
+def test_bench_figure7b_page_lifetime(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(benchmark, figure7.run_page_lifetime,
+                                 bench_scale, bench_seed,
+                                 lifetimes_years=(0.5, 1.5, 3.0))
+    _check_all_valid(result)
+
+
+def test_bench_figure7c_visit_rate(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(benchmark, figure7.run_visit_rate,
+                                 bench_scale, bench_seed,
+                                 visit_multipliers=(0.2, 1.0, 10.0))
+    _check_all_valid(result)
+    # Abundant visits should not be worse than scarce visits for any method.
+    for series in result.series:
+        assert series.y[-1] >= series.y[0] - 0.1
+
+
+def test_bench_figure7d_user_population(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(benchmark, figure7.run_user_population,
+                                 bench_scale, bench_seed,
+                                 user_multipliers=(0.5, 1.0, 4.0))
+    _check_all_valid(result)

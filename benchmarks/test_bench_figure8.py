@@ -1,0 +1,19 @@
+"""Benchmark: Figure 8 — mixed surfing and searching."""
+
+from repro.experiments import figure8
+
+from conftest import run_experiment_once
+
+
+def test_bench_figure8_mixed_surfing(benchmark, bench_scale, bench_seed):
+    result = run_experiment_once(
+        benchmark, figure8.run, bench_scale, bench_seed, x_values=(0.0, 0.5, 1.0)
+    )
+    # Absolute QPC stays within the quality range for every surfing mix.
+    for series in result.series:
+        for value in series.y:
+            assert 0.0 <= value <= 0.45
+    # At x = 1 every ranking method sees the same surfing-only traffic, so the
+    # three curves should be close together.
+    finals = [series.y[-1] for series in result.series]
+    assert max(finals) - min(finals) < 0.2

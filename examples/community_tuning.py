@@ -1,0 +1,77 @@
+"""Scenario: tune the rank-promotion knobs (r and k) for a given community.
+
+A search-engine operator who wants to deploy randomized rank promotion has to
+choose the degree of randomization r and the protected prefix k.  This
+example sweeps both knobs with the analytical model (cheap) and then
+validates the chosen operating point with the simulator (expensive but
+faithful), mirroring the paper's Section 6.4 recommendation process.
+
+Run with::
+
+    python examples/community_tuning.py
+"""
+
+from repro import CommunityConfig, RankPromotionPolicy, SimulationConfig, measure_qpc
+from repro.analysis import RankingSpec, solve_model
+from repro.utils.tables import Table
+
+COMMUNITY = CommunityConfig(
+    n_pages=2_000,
+    n_users=200,
+    monitored_fraction=0.10,
+    visits_per_user_per_day=1.0,
+    expected_lifetime_days=200.0,
+)
+R_VALUES = (0.0, 0.05, 0.1, 0.2)
+K_VALUES = (1, 2, 11)
+
+
+def analytic_sweep():
+    """Normalized QPC for every (k, r) pair, from the analytical model."""
+    table = Table(["r"] + ["k=%d" % k for k in K_VALUES],
+                  title="Analytic QPC sweep (selective promotion)")
+    best = (0.0, 1, -1.0)
+    for r in R_VALUES:
+        row = [r]
+        for k in K_VALUES:
+            spec = RankingSpec.nonrandomized() if r == 0 else RankingSpec.selective(r=r, k=k)
+            qpc = solve_model(COMMUNITY, spec, quality_groups=48, seed=0).qpc_normalized()
+            row.append(qpc)
+            if qpc > best[2]:
+                best = (r, k, qpc)
+        table.add_row(*row)
+    print(table.render())
+    return best
+
+
+def validate(r: float, k: int) -> None:
+    """Check the chosen operating point with the stochastic simulator."""
+    config = SimulationConfig.for_community(COMMUNITY, warmup_lifetimes=3,
+                                            measure_lifetimes=5)
+    chosen = RankPromotionPolicy("selective", k, r) if r > 0 else RankPromotionPolicy("none", 1, 0.0)
+    baseline = RankPromotionPolicy("none", 1, 0.0)
+    chosen_qpc = measure_qpc(COMMUNITY, chosen, config, repetitions=3, seed=21)
+    baseline_qpc = measure_qpc(COMMUNITY, baseline, config, repetitions=3, seed=21)
+    print()
+    print("Simulator validation:")
+    print("  baseline (no randomization): normalized QPC %.3f +- %.3f"
+          % (baseline_qpc["qpc_normalized"], baseline_qpc["qpc_normalized_std"]))
+    print("  chosen   (r=%.2f, k=%d):      normalized QPC %.3f +- %.3f"
+          % (r, k, chosen_qpc["qpc_normalized"], chosen_qpc["qpc_normalized_std"]))
+
+
+def main() -> None:
+    print(COMMUNITY.describe())
+    print()
+    best_r, best_k, best_qpc = analytic_sweep()
+    print()
+    print("Best analytic operating point: r=%.2f, k=%d (normalized QPC %.3f)"
+          % (best_r, best_k, best_qpc))
+    validate(best_r, best_k)
+    print()
+    print("The paper's recommendation — selective promotion, r about 0.1, k in {1, 2} — "
+          "should be at or near the best analytic point for communities like this one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Scenario: rank promotion on a link-based (web-graph) popularity signal.
+
+The paper abstracts popularity into awareness × quality; real engines measure
+it from the link graph.  This example drives the same ranking policies on an
+explicit evolving web graph: users visit pages according to the ranking, some
+visitors link to pages they like, and popularity is recomputed from in-degree
+or PageRank.  It shows that the entrenchment effect and the benefit of
+selective promotion carry over to the graph-backed substrate.
+
+Run with::
+
+    python examples/graph_substrate.py
+"""
+
+from repro import CommunityConfig
+from repro.core.promotion import SelectivePromotionRule
+from repro.core.rankers import PopularityRanker, RandomizedPromotionRanker
+from repro.utils.tables import Table
+from repro.webgraph import EvolvingWebGraph, GraphCommunitySimulator, pagerank
+from repro.webgraph.generators import preferential_attachment_graph
+from repro.webgraph.indegree import indegree_popularity
+
+COMMUNITY = CommunityConfig(
+    n_pages=500,
+    n_users=100,
+    monitored_fraction=0.2,
+    visits_per_user_per_day=1.0,
+    expected_lifetime_days=100.0,
+)
+
+
+def static_graph_demo() -> None:
+    """Show the popularity skew of a synthetic preferential-attachment web graph."""
+    edges = preferential_attachment_graph(COMMUNITY.n_pages, out_links=5, rng=0)
+    indegree = indegree_popularity(edges, COMMUNITY.n_pages)
+    scores = pagerank(edges, COMMUNITY.n_pages)
+    print("Synthetic web graph: %d pages, %d links" % (COMMUNITY.n_pages, len(edges)))
+    print("  top page holds %.1f%% of all in-links; top 1%% of pages hold %.1f%%"
+          % (100.0 * indegree.max() / indegree.sum(),
+             100.0 * sum(sorted(indegree, reverse=True)[: COMMUNITY.n_pages // 100]) / indegree.sum()))
+    print("  PageRank mass of the top 1%% of pages: %.1f%%"
+          % (100.0 * sum(sorted(scores, reverse=True)[: COMMUNITY.n_pages // 100])))
+    print()
+
+
+def evolving_graph_comparison() -> None:
+    """Compare deterministic and promoted ranking on the evolving graph."""
+    rankers = {
+        "popularity (in-degree)": PopularityRanker(),
+        "selective promotion (r=0.1)": RandomizedPromotionRanker(
+            SelectivePromotionRule(), k=1, r=0.1
+        ),
+        "selective promotion (r=0.3)": RandomizedPromotionRanker(
+            SelectivePromotionRule(), k=1, r=0.3
+        ),
+    }
+    table = Table(["ranking method", "normalized QPC", "links created"],
+                  title="Quality-per-click on the evolving web graph")
+    for name, ranker in rankers.items():
+        simulator = GraphCommunitySimulator(
+            COMMUNITY, ranker, seed=4,
+            graph=EvolvingWebGraph(n=COMMUNITY.n_pages, links_per_day=50.0),
+        )
+        outcome = simulator.run(warmup_days=150, measure_days=250)
+        table.add_row(name, outcome["qpc_normalized"], outcome["links"])
+    print(table.render())
+    print()
+    print("The feedback loop (rank -> visits -> links -> rank) entrenches early winners; "
+          "selective promotion gives newly created pages a path into the link economy.")
+
+
+def main() -> None:
+    static_graph_demo()
+    evolving_graph_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Scenario: re-run the paper's joke/quotation live study in simulation.
+
+Appendix A of the paper describes a 45-day study on a small entertainment
+site: two user groups saw the same rotating pool of joke and quotation pages,
+one ranked strictly by funny votes and one with all not-yet-seen items
+shuffled in below rank 20.  This example replays that study with simulated
+participants and reports the funny-vote ratios (Figure 1 of the paper), plus
+a small sensitivity sweep over the promotion start rank.
+
+Run with::
+
+    python examples/joke_site_study.py
+"""
+
+import numpy as np
+
+from repro.livestudy import LiveStudyConfig, LiveStudyExperiment
+from repro.utils.tables import Table
+
+
+def run_study(config: LiveStudyConfig, repetitions: int, seed: int):
+    """Average funny-vote ratios over several simulated studies."""
+    control, treatment = [], []
+    for repetition in range(repetitions):
+        result = LiveStudyExperiment(config, seed=seed + repetition).run()
+        control.append(result.control.funny_ratio)
+        treatment.append(result.treatment.funny_ratio)
+    return float(np.mean(control)), float(np.mean(treatment))
+
+
+def main() -> None:
+    repetitions = 6
+
+    base = LiveStudyConfig()
+    control, treatment = run_study(base, repetitions, seed=0)
+    print("Replaying the Appendix A study (%d items, %d users, %d days, %d repetitions)"
+          % (base.n_items, base.n_users, base.study_days, repetitions))
+    print()
+    print("  funny-vote ratio without promotion: %.3f" % control)
+    print("  funny-vote ratio with promotion:    %.3f" % treatment)
+    print("  improvement:                        %.0f%%  (paper reports ~60%%)"
+          % (100.0 * (treatment / control - 1.0)))
+
+    print()
+    table = Table(["promotion start rank (k)", "ratio without", "ratio with", "improvement %"],
+                  title="Sensitivity to the promotion start rank")
+    for start_rank in (6, 21, 51):
+        config = LiveStudyConfig(promotion_start_rank=start_rank)
+        control, treatment = run_study(config, repetitions, seed=100)
+        improvement = 100.0 * (treatment / control - 1.0) if control > 0 else float("nan")
+        table.add_row(start_rank, control, treatment, improvement)
+    print(table.render())
+    print()
+    print("Promoting new items too close to the top displaces proven items; too deep "
+          "and they are never seen — the paper's choice of rank 21 is a balance.")
+
+
+if __name__ == "__main__":
+    main()

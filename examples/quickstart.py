@@ -1,0 +1,66 @@
+"""Quickstart: compare deterministic ranking with randomized rank promotion.
+
+Builds a small Web community, measures amortized quality-per-click (QPC) and
+time-to-become-popular (TBP) for strict popularity ranking and for the
+paper's recommended recipe (selective promotion, r = 0.1, k = 1), and prints
+a small report.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CommunityConfig,
+    RankPromotionPolicy,
+    RECOMMENDED_POLICY,
+    SimulationConfig,
+    measure_qpc,
+    measure_tbp,
+)
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    # A community an order of magnitude smaller than the paper's default so
+    # the example finishes in a few seconds; ratios (users per page,
+    # monitored fraction, visits per user) follow the paper.
+    community = CommunityConfig(
+        n_pages=2_000,
+        n_users=200,
+        monitored_fraction=0.10,
+        visits_per_user_per_day=1.0,
+        expected_lifetime_days=200.0,
+    )
+    print(community.describe())
+
+    config = SimulationConfig.for_community(
+        community, warmup_lifetimes=3, measure_lifetimes=5, mode="stochastic"
+    )
+    policies = {
+        "no randomization": RankPromotionPolicy(rule="none", k=1, r=0.0),
+        "recommended (selective, r=0.1, k=1)": RECOMMENDED_POLICY,
+        "selective, r=0.2, k=1": RankPromotionPolicy(rule="selective", k=1, r=0.2),
+    }
+
+    table = Table(["ranking method", "normalized QPC", "TBP of a q=0.4 page (days)"],
+                  title="Effect of randomized rank promotion")
+    for name, policy in policies.items():
+        qpc = measure_qpc(community, policy, config, repetitions=3, seed=7)
+        tbp = measure_tbp(community, policy, probe_quality=0.4,
+                          config=SimulationConfig(warmup_days=config.warmup_days,
+                                                  measure_days=60,
+                                                  probe_horizon_days=600),
+                          repetitions=3, seed=7)
+        table.add_row(name, qpc["qpc_normalized"], tbp["tbp_days"])
+    print()
+    print(table.render())
+    print()
+    print("Higher QPC and lower TBP are better; TBP capped at the 600-day probe horizon.")
+    print("Note: QPC is dominated by whether the few best pages are currently discovered,")
+    print("so individual small-community runs are noisy — increase `repetitions` (or the")
+    print("measurement window) for publication-quality comparisons.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on modern toolchains uses the PEP 517 editable hooks and
+needs ``wheel``; on offline machines without it, ``python setup.py develop``
+installs the same editable package through the legacy path.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

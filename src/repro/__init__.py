@@ -1,0 +1,89 @@
+"""Reproduction of "Shuffling a Stacked Deck: The Case for Partially
+Randomized Ranking of Search Engine Results" (Pandey, Roy, Olston, Cho,
+Chakrabarti — VLDB 2005).
+
+The package implements the paper's randomized rank promotion scheme, the Web
+community popularity-evolution model it is evaluated on, the analytical
+steady-state model (Theorem 1 plus the fixed-point visit-rate solver), a
+discrete-time simulator, the live-study sandbox of Appendix A, and one
+experiment driver per figure of the paper.
+
+Quickstart::
+
+    from repro import (
+        CommunityConfig, RankPromotionPolicy, SimulationConfig, measure_qpc,
+    )
+
+    community = CommunityConfig(n_pages=2_000, n_users=200)
+    policy = RankPromotionPolicy(rule="selective", k=1, r=0.1)
+    print(measure_qpc(community, policy, SimulationConfig(warmup_days=200,
+                                                          measure_days=200,
+                                                          mode="fluid")))
+"""
+
+from repro.community import (
+    CommunityConfig,
+    DEFAULT_COMMUNITY,
+    Page,
+    PagePool,
+    PowerLawQualityDistribution,
+    QualityDistribution,
+)
+from repro.core import (
+    PopularityRanker,
+    RandomizedPromotionRanker,
+    RankingContext,
+    RankPromotionPolicy,
+    RECOMMENDED_POLICY,
+    SelectivePromotionRule,
+    UniformPromotionRule,
+    randomized_merge,
+)
+from repro.analysis import RankingSpec, SolvedModel, SteadyStateSolver, solve_model
+from repro.metrics import ideal_qpc, normalized_qpc, time_to_become_popular
+from repro.simulation import (
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    compare_policies,
+    measure_qpc,
+    measure_tbp,
+    popularity_trajectory,
+)
+from repro.visits import MixedSurfingModel, PowerLawAttention
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommunityConfig",
+    "DEFAULT_COMMUNITY",
+    "Page",
+    "PagePool",
+    "QualityDistribution",
+    "PowerLawQualityDistribution",
+    "RankPromotionPolicy",
+    "RECOMMENDED_POLICY",
+    "PopularityRanker",
+    "RandomizedPromotionRanker",
+    "SelectivePromotionRule",
+    "UniformPromotionRule",
+    "RankingContext",
+    "randomized_merge",
+    "RankingSpec",
+    "SteadyStateSolver",
+    "SolvedModel",
+    "solve_model",
+    "ideal_qpc",
+    "normalized_qpc",
+    "time_to_become_popular",
+    "Simulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "measure_qpc",
+    "measure_tbp",
+    "popularity_trajectory",
+    "compare_policies",
+    "MixedSurfingModel",
+    "PowerLawAttention",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Analytical model of page popularity evolution (Section 5 of the paper).
+
+The analysis couples three ingredients:
+
+* the steady-state awareness distribution ``f(a_i | q)`` of Theorem 1;
+* the popularity-to-rank function ``F1`` (and its randomized-promotion
+  variant ``F1'``) together with the rank-to-visit law ``F2``;
+* an iterative fixed-point procedure that solves the circular dependency
+  between the two, fitting the popularity-to-visit-rate function ``F(x)``
+  with a quadratic curve in log-log space between iterations.
+
+The solved model exposes analytic QPC, TBP and popularity-evolution curves,
+which the experiments compare side by side with the simulator.
+"""
+
+from repro.analysis.spec import RankingSpec
+from repro.analysis.awareness import awareness_distribution, expected_awareness
+from repro.analysis.rank_visit import (
+    RankToVisitLaw,
+    expected_promoted_visit_rate,
+    popularity_to_rank,
+)
+from repro.analysis.solver import SolvedModel, SteadyStateSolver, solve_model
+
+__all__ = [
+    "RankingSpec",
+    "awareness_distribution",
+    "expected_awareness",
+    "RankToVisitLaw",
+    "popularity_to_rank",
+    "expected_promoted_visit_rate",
+    "SteadyStateSolver",
+    "SolvedModel",
+    "solve_model",
+]

@@ -1,0 +1,104 @@
+"""Steady-state awareness distribution (Theorem 1).
+
+Among pages of quality ``q``, the steady-state fraction with awareness
+``a_i = i / m`` is
+
+``f(a_i | q) = lambda / ((lambda + F(0)) (1 - a_i)) * prod_{j=1..i} F(a_{j-1} q) / (lambda + F(a_j q))``
+
+The published product form divides by ``(1 - a_i)`` and therefore breaks
+down at full awareness (``a_m = 1``).  We close the boundary with the same
+balance argument used in the proof: pages at full awareness are only removed
+by retirement, so in steady state
+
+``f(a_m) * lambda = f(a_{m-1}) * F(q a_{m-1}) * (1 - a_{m-1})``.
+
+The whole vector is then normalized to sum to one.  Because the ratios
+``F / lambda`` can exceed ``10^4`` the product is evaluated in log space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+_LOG_EPS = 1e-300
+
+
+def awareness_distribution(
+    quality: float,
+    visit_rate: Callable[[float], float],
+    death_rate: float,
+    m: int,
+) -> np.ndarray:
+    """Return ``f(a_i | q)`` for ``i = 0 .. m`` as a normalized vector.
+
+    Args:
+        quality: page quality ``q`` in ``(0, 1]``.
+        visit_rate: the solved popularity-to-visit-rate function ``F`` in
+            monitored visits per day; evaluated at the popularity values
+            ``a_i * q``.
+        death_rate: the Poisson retirement rate ``lambda`` per day.
+        m: number of monitored users (so awareness levels are ``i / m``).
+    """
+    if not 0 < quality <= 1:
+        raise ValueError("quality must lie in (0, 1], got %r" % quality)
+    check_positive("death_rate", death_rate)
+    check_positive_int("m", m)
+
+    levels = np.arange(m + 1, dtype=float) / m
+    visits = _evaluate_visit_rate(visit_rate, levels * quality)
+    lam = float(death_rate)
+
+    log_f = np.empty(m + 1)
+    log_f[0] = np.log(lam) - np.log(lam + visits[0] + _LOG_EPS)
+    # Interior states: the paper's ratio between consecutive awareness levels.
+    for i in range(1, m):
+        numerator = visits[i - 1] * (1.0 - levels[i - 1])
+        denominator = (lam + visits[i]) * (1.0 - levels[i])
+        log_f[i] = log_f[i - 1] + np.log(numerator + _LOG_EPS) - np.log(denominator + _LOG_EPS)
+    # Boundary state a_m = 1: inflow from a_{m-1}, outflow only through death.
+    inflow = visits[m - 1] * (1.0 - levels[m - 1])
+    log_f[m] = log_f[m - 1] + np.log(inflow + _LOG_EPS) - np.log(lam)
+
+    log_f -= log_f.max()
+    f = np.exp(log_f)
+    total = f.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ArithmeticError("awareness distribution failed to normalize")
+    return f / total
+
+
+def _evaluate_visit_rate(visit_rate: Callable, popularity: np.ndarray) -> np.ndarray:
+    """Evaluate ``F`` over an array, falling back to scalar calls if needed."""
+    try:
+        values = np.asarray(visit_rate(popularity), dtype=float)
+        if values.shape != popularity.shape:
+            raise TypeError("visit_rate did not broadcast")
+    except (TypeError, ValueError):
+        values = np.array([float(visit_rate(float(p))) for p in popularity])
+    return np.clip(values, 0.0, None)
+
+
+def expected_awareness(distribution: np.ndarray) -> float:
+    """Mean awareness ``E[a]`` of a distribution over levels ``i / m``."""
+    distribution = np.asarray(distribution, dtype=float)
+    m = distribution.size - 1
+    if m < 1:
+        raise ValueError("distribution must cover at least two awareness levels")
+    levels = np.arange(m + 1, dtype=float) / m
+    return float(np.dot(distribution, levels))
+
+
+def zero_awareness_probability(distribution: np.ndarray) -> float:
+    """Probability mass at awareness zero, ``f(a_0 | q)``."""
+    return float(np.asarray(distribution, dtype=float)[0])
+
+
+__all__ = [
+    "awareness_distribution",
+    "expected_awareness",
+    "zero_awareness_probability",
+]

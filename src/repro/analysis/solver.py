@@ -1,0 +1,363 @@
+"""Iterative fixed-point solver for the popularity-to-visit-rate function.
+
+The awareness distribution (Theorem 1) depends on ``F``, and ``F = F2 o F1``
+depends on the awareness distribution of every page — a circular dependency
+with no closed form.  Following Section 5.3 we solve it iteratively:
+
+1. start from a popularity-proportional guess for ``F``;
+2. compute the steady-state awareness distribution of every quality group;
+3. evaluate the expected rank ``F1`` (plus the promotion shift for
+   randomized ranking) on a popularity grid, map it through ``F2``, and
+   compute ``F(0)`` from the promotion-slot visit mass;
+4. refit ``log F`` as a quadratic in ``log x`` and repeat until the fitted
+   values stop changing.
+
+The converged :class:`SolvedModel` exposes the analytic QPC, TBP and
+popularity-evolution curves used by the experiment drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.awareness import awareness_distribution
+from repro.analysis.rank_visit import (
+    RankToVisitLaw,
+    expected_promoted_visit_rate,
+    popularity_to_rank,
+    selective_rank_shift,
+    uniform_rank_adjustment,
+)
+from repro.analysis.spec import RankingSpec
+from repro.community.config import CommunityConfig
+from repro.core.policy import RankPromotionPolicy
+from repro.metrics.qpc import ideal_qpc
+from repro.utils.mathutils import LogQuadraticCurve, fit_log_quadratic
+from repro.utils.rng import RandomSource, as_rng
+from repro.visits.attention import PowerLawAttention
+
+
+def _group_qualities(qualities: np.ndarray, max_groups: int):
+    """Collapse the quality pool into at most ``max_groups`` (value, count) pairs.
+
+    Exact distinct values are kept when there are few of them; otherwise the
+    pool is binned on a *logarithmic* quality grid.  Log-spaced bins are
+    essential for the heavy-tailed quality distributions the paper uses: the
+    handful of high-quality pages that dominate QPC land in their own bins
+    instead of being averaged away, while the long tail of near-zero-quality
+    pages is aggressively collapsed.  Grouping keeps the per-iteration cost
+    of the solver independent of the community size.
+    """
+    qualities = np.asarray(qualities, dtype=float)
+    values, counts = np.unique(qualities, return_counts=True)
+    if values.size <= max_groups:
+        return values, counts.astype(float)
+    positive = qualities[qualities > 0]
+    q_min, q_max = float(positive.min()), float(positive.max())
+    edges = np.geomspace(q_min, q_max, max_groups + 1)
+    bin_index = np.clip(np.searchsorted(edges, positive, side="right") - 1, 0, max_groups - 1)
+    grouped_values, grouped_counts = [], []
+    zero_count = int(np.sum(qualities <= 0))
+    if zero_count:
+        grouped_values.append(q_min * 1e-3)
+        grouped_counts.append(float(zero_count))
+    for b in range(max_groups):
+        mask = bin_index == b
+        if not np.any(mask):
+            continue
+        grouped_values.append(float(positive[mask].mean()))
+        grouped_counts.append(float(np.sum(mask)))
+    return np.asarray(grouped_values), np.asarray(grouped_counts)
+
+
+@dataclass
+class SolvedModel:
+    """The converged analytical model for one community and ranking method."""
+
+    community: CommunityConfig
+    spec: RankingSpec
+    visit_rate: LogQuadraticCurve
+    law: RankToVisitLaw
+    quality_values: np.ndarray
+    quality_counts: np.ndarray
+    awareness_by_quality: Dict[float, np.ndarray]
+    expected_zero_awareness: float
+    iterations: int
+    converged: bool
+    quality_pool: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------- evaluation
+
+    def awareness_distribution(self, quality: float) -> np.ndarray:
+        """Steady-state ``f(a_i | q)`` for an arbitrary quality value."""
+        return awareness_distribution(
+            quality,
+            self.visit_rate,
+            self.community.death_rate,
+            self.community.n_monitored_users,
+        )
+
+    def expected_visit_rate(self, popularity) -> np.ndarray:
+        """The solved ``F(x)`` in monitored visits per day."""
+        return self.visit_rate(popularity)
+
+    def qpc_absolute(self) -> float:
+        """Analytic quality-per-click (Section 5.2)."""
+        m = self.community.n_monitored_users
+        levels = np.arange(m + 1, dtype=float) / m
+        numerator = 0.0
+        denominator = 0.0
+        for q, count in zip(self.quality_values, self.quality_counts):
+            f = self.awareness_by_quality[float(q)]
+            visits = np.clip(np.asarray(self.visit_rate(levels * q), dtype=float), 0.0, None)
+            weighted = count * float(np.dot(f, visits))
+            numerator += weighted * q
+            denominator += weighted
+        if denominator <= 0:
+            return 0.0
+        return numerator / denominator
+
+    def qpc_normalized(self) -> float:
+        """QPC normalized by the quality-ordered ideal ranking."""
+        if self.quality_pool is not None and self.quality_pool.size:
+            pool = self.quality_pool
+        else:
+            pool = np.repeat(self.quality_values, self.quality_counts.astype(int))
+        if pool.size == 0:
+            return 0.0
+        ideal = ideal_qpc(pool, PowerLawAttention(self.law.exponent))
+        if ideal <= 0:
+            return 0.0
+        return self.qpc_absolute() / ideal
+
+    def climb_rates(self, quality: float) -> np.ndarray:
+        """Per-day probability of climbing one awareness level from each state."""
+        m = self.community.n_monitored_users
+        levels = np.arange(m + 1, dtype=float) / m
+        visits = np.clip(np.asarray(self.visit_rate(levels * quality), dtype=float), 0.0, None)
+        return np.clip(visits * (1.0 - levels), 0.0, 1.0)
+
+    def tbp(self, quality: float, threshold: float = 0.99) -> float:
+        """Expected time (days) for a new page of ``quality`` to become popular.
+
+        Expected hitting time of awareness ``threshold`` in the birth-death
+        chain of awareness levels, ignoring retirement (so this is the TBP of
+        a page that lives long enough).  Returns ``inf`` when some
+        intermediate state can never be left.
+        """
+        if not 0 < threshold <= 1:
+            raise ValueError("threshold must lie in (0, 1]")
+        m = self.community.n_monitored_users
+        target_level = int(np.ceil(threshold * m))
+        rates = self.climb_rates(quality)[:target_level]
+        if np.any(rates <= 0):
+            return float("inf")
+        return float(np.sum(1.0 / rates))
+
+    def popularity_trajectory(self, quality: float, horizon_days: int) -> np.ndarray:
+        """Expected popularity of a fresh page of ``quality`` over time.
+
+        Evolves the awareness-level occupancy distribution of a single
+        surviving page day by day (retirement is conditioned away, as in the
+        paper's Figure 4(a) which follows one page from creation).
+        """
+        if horizon_days < 1:
+            raise ValueError("horizon_days must be >= 1")
+        m = self.community.n_monitored_users
+        levels = np.arange(m + 1, dtype=float) / m
+        climb = self.climb_rates(quality)
+        occupancy = np.zeros(m + 1)
+        occupancy[0] = 1.0
+        trajectory = np.empty(horizon_days)
+        for day in range(horizon_days):
+            trajectory[day] = quality * float(np.dot(occupancy, levels))
+            moving = occupancy * climb
+            moving[m] = 0.0
+            occupancy = occupancy - moving
+            occupancy[1:] += moving[:-1]
+        return trajectory
+
+    def visit_trajectory(self, quality: float, horizon_days: int) -> np.ndarray:
+        """Expected monitored visits per day for a fresh page of ``quality``."""
+        popularity = self.popularity_trajectory(quality, horizon_days)
+        return np.clip(np.asarray(self.visit_rate(popularity), dtype=float), 0.0, None)
+
+    def summary(self) -> str:
+        """One-line description of the solved model."""
+        return "%s: QPC=%.4f (normalized %.4f), z=%.1f, %d iterations%s" % (
+            self.spec.describe(),
+            self.qpc_absolute(),
+            self.qpc_normalized(),
+            self.expected_zero_awareness,
+            self.iterations,
+            "" if self.converged else " (not converged)",
+        )
+
+
+@dataclass
+class SteadyStateSolver:
+    """Fixed-point solver producing a :class:`SolvedModel`.
+
+    Attributes:
+        community: the community characteristics (Table 1 symbols).
+        spec: which ranking method to analyze.
+        grid_size: number of popularity grid points used for curve fitting.
+        max_iterations: iteration cap.
+        tolerance: relative change in fitted ``F`` values below which the
+            iteration is declared converged.
+        damping: fraction of the new fit blended into the current curve per
+            iteration (1.0 = undamped).
+        quality_groups: maximum number of quality levels used to summarize
+            the community's quality pool.
+        seed: seed for drawing the stationary quality pool.
+    """
+
+    community: CommunityConfig
+    spec: RankingSpec = field(default_factory=RankingSpec.nonrandomized)
+    grid_size: int = 40
+    max_iterations: int = 60
+    tolerance: float = 1e-3
+    damping: float = 0.7
+    quality_groups: int = 64
+    seed: RandomSource = 0
+
+    def solve(self) -> SolvedModel:
+        """Run the fixed-point iteration and return the converged model."""
+        community = self.community
+        m = community.n_monitored_users
+        lam = community.death_rate
+        law = RankToVisitLaw(
+            n_pages=community.n_pages, total_visits=community.monitored_visit_rate
+        )
+        qualities = community.sample_qualities(as_rng(self.seed))
+        q_values, q_counts = _group_qualities(qualities, self.quality_groups)
+        q_max = float(q_values.max())
+
+        grid = np.geomspace(max(1e-6, q_max * 1e-5), q_max, self.grid_size)
+        current = self._initial_curve(law, q_values, q_counts, q_max)
+
+        converged = False
+        iterations = 0
+        z = 0.0
+        z_previous = None
+        awareness_by_quality: Dict[float, np.ndarray] = {}
+        for iterations in range(1, self.max_iterations + 1):
+            awareness_by_quality = {
+                float(q): awareness_distribution(float(q), current, lam, m)
+                for q in q_values
+            }
+            z_new = float(
+                sum(
+                    count * awareness_by_quality[float(q)][0]
+                    for q, count in zip(q_values, q_counts)
+                )
+            )
+            # Damp the promotion-pool size too: the pool size and the
+            # per-promoted-page visit rate push each other in opposite
+            # directions, and the undamped iteration can oscillate between
+            # "everything explored" and "nothing explored" states.
+            if z_previous is None:
+                z = z_new
+            else:
+                z = (1.0 - self.damping) * z_previous + self.damping * z_new
+            z_previous = z
+            fitted = self._refit(
+                current, law, grid, q_values, q_counts, awareness_by_quality, z
+            )
+            blended = self._blend(current, fitted)
+            if self._relative_change(current, blended, grid) < self.tolerance:
+                current = blended
+                converged = True
+                break
+            current = blended
+
+        return SolvedModel(
+            community=community,
+            spec=self.spec,
+            visit_rate=current,
+            law=law,
+            quality_values=q_values,
+            quality_counts=q_counts,
+            awareness_by_quality=awareness_by_quality,
+            expected_zero_awareness=z,
+            iterations=iterations,
+            converged=converged,
+            quality_pool=qualities,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _initial_curve(self, law, q_values, q_counts, q_max) -> LogQuadraticCurve:
+        """Popularity-proportional initial guess with a pessimistic F(0)."""
+        expected_total_popularity = float(np.dot(q_values, q_counts)) * 0.5
+        scale = law.total_visits / max(expected_total_popularity, 1e-9)
+        grid = np.geomspace(max(1e-6, q_max * 1e-5), q_max, self.grid_size)
+        return fit_log_quadratic(grid, scale * grid, value_at_zero=float(law(law.n_pages)))
+
+    def _refit(
+        self, current, law, grid, q_values, q_counts, awareness_by_quality, z
+    ) -> LogQuadraticCurve:
+        """One application of the fixed-point map: awareness -> F1 -> F2 -> fit."""
+        base_rank = popularity_to_rank(grid, q_values, q_counts, awareness_by_quality)
+        rank_at_zero = float(
+            popularity_to_rank(np.array([0.0]), q_values, q_counts, awareness_by_quality)[0]
+        )
+        if self.spec.kind == "nonrandomized" or not self.spec.is_randomized:
+            visits = law(base_rank)
+            value_at_zero = float(law(rank_at_zero))
+        elif self.spec.kind == "selective":
+            shifted = selective_rank_shift(base_rank, self.spec.k, self.spec.r, z)
+            visits = law(shifted)
+            value_at_zero = expected_promoted_visit_rate(law, z, self.spec.k, self.spec.r)
+        else:  # uniform promotion
+            visits = uniform_rank_adjustment(base_rank, law, self.spec.k, self.spec.r)
+            value_at_zero = float(
+                uniform_rank_adjustment(
+                    np.array([rank_at_zero]), law, self.spec.k, self.spec.r
+                )[0]
+            )
+        return fit_log_quadratic(grid, visits, value_at_zero=value_at_zero)
+
+    def _blend(self, current: LogQuadraticCurve, fitted: LogQuadraticCurve) -> LogQuadraticCurve:
+        """Damped coefficient update to stabilize the iteration."""
+        d = self.damping
+        coefficients = (1.0 - d) * current.coefficients() + d * fitted.coefficients()
+        value_at_zero = (1.0 - d) * current.value_at_zero + d * fitted.value_at_zero
+        return LogQuadraticCurve(
+            a=float(coefficients[0]),
+            b=float(coefficients[1]),
+            c=float(coefficients[2]),
+            value_at_zero=float(value_at_zero),
+        )
+
+    def _relative_change(self, old, new, grid) -> float:
+        """Maximum relative difference of the two curves over the grid."""
+        old_values = np.clip(np.asarray(old(grid), dtype=float), 1e-12, None)
+        new_values = np.clip(np.asarray(new(grid), dtype=float), 1e-12, None)
+        zero_change = abs(new.value_at_zero - old.value_at_zero) / max(
+            old.value_at_zero, 1e-12
+        )
+        return float(max(np.max(np.abs(new_values - old_values) / old_values), zero_change))
+
+
+def solve_model(
+    community: CommunityConfig,
+    ranking,
+    seed: RandomSource = 0,
+    **solver_kwargs,
+) -> SolvedModel:
+    """Convenience wrapper: solve the analytical model for a policy or spec."""
+    if isinstance(ranking, RankPromotionPolicy):
+        spec = RankingSpec.from_policy(ranking)
+    elif isinstance(ranking, RankingSpec):
+        spec = ranking
+    else:
+        raise TypeError("ranking must be a RankPromotionPolicy or RankingSpec")
+    solver = SteadyStateSolver(community=community, spec=spec, seed=seed, **solver_kwargs)
+    return solver.solve()
+
+
+__all__ = ["SteadyStateSolver", "SolvedModel", "solve_model"]

@@ -1,0 +1,79 @@
+"""Declarative ranking specification consumed by the analytical model.
+
+The simulator works with concrete :class:`~repro.core.rankers.Ranker`
+objects; the analytical model only needs to know *which* of the closed-form
+rank-shift formulas applies.  :class:`RankingSpec` carries that information
+and converts from :class:`~repro.core.policy.RankPromotionPolicy`, so a
+single policy object can drive both evaluation paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.policy import RankPromotionPolicy
+from repro.utils.validation import check_probability
+
+VALID_KINDS = ("nonrandomized", "selective", "uniform")
+
+
+@dataclass(frozen=True)
+class RankingSpec:
+    """Which ranking method the analytical model should evaluate.
+
+    Attributes:
+        kind: ``"nonrandomized"``, ``"selective"`` or ``"uniform"``.
+        k: starting point of rank promotion (ignored for nonrandomized).
+        r: degree of randomization (ignored for nonrandomized).
+    """
+
+    kind: str = "nonrandomized"
+    k: int = 1
+    r: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise ValueError("kind must be one of %s, got %r" % (VALID_KINDS, self.kind))
+        if self.k < 1:
+            raise ValueError("k must be >= 1, got %d" % self.k)
+        check_probability("r", self.r)
+        if self.kind != "nonrandomized" and self.r >= 1.0:
+            raise ValueError("the analytical model requires r < 1 for randomized ranking")
+
+    @property
+    def is_randomized(self) -> bool:
+        """True when rank promotion is active."""
+        return self.kind != "nonrandomized" and self.r > 0.0
+
+    @classmethod
+    def from_policy(cls, policy: RankPromotionPolicy) -> "RankingSpec":
+        """Build the analytic spec matching a simulator policy."""
+        if policy.is_deterministic:
+            return cls(kind="nonrandomized")
+        return cls(kind=policy.rule, k=policy.k, r=policy.r)
+
+    @classmethod
+    def nonrandomized(cls) -> "RankingSpec":
+        """Pure popularity ranking."""
+        return cls(kind="nonrandomized")
+
+    @classmethod
+    def selective(cls, r: float = 0.1, k: int = 1) -> "RankingSpec":
+        """Selective randomized rank promotion."""
+        return cls(kind="selective", k=k, r=r)
+
+    @classmethod
+    def uniform(cls, r: float = 0.1, k: int = 1) -> "RankingSpec":
+        """Uniform randomized rank promotion."""
+        return cls(kind="uniform", k=k, r=r)
+
+    def describe(self) -> str:
+        """Short description used in experiment reports."""
+        if not self.is_randomized:
+            return "No randomization (analysis)"
+        return "%s randomization (k=%d, r=%.2f, analysis)" % (
+            self.kind.capitalize(), self.k, self.r,
+        )
+
+
+__all__ = ["RankingSpec", "VALID_KINDS"]

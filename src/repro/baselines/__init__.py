@@ -1,0 +1,20 @@
+"""Baseline rankers from the related work the paper compares against in spirit.
+
+The paper's Section 2 describes two families of prior solutions to the
+entrenchment problem, both variations of PageRank:
+
+* weighting popularity by page *age* (Baeza-Yates, Saint-Jean & Castillo;
+  Yu, Li & Liu) — implemented here as :class:`AgeWeightedRanker`;
+* forecasting future popularity from the *derivative* of the popularity
+  signal for young pages (Cho, Roy & Adams) — implemented here as
+  :class:`DerivativeForecastRanker`.
+
+They are not required to reproduce the paper's figures, but the ablation
+benchmarks use them to place randomized rank promotion next to the
+alternatives the paper argues against.
+"""
+
+from repro.baselines.age_weighted import AgeWeightedRanker
+from repro.baselines.derivative import DerivativeForecastRanker
+
+__all__ = ["AgeWeightedRanker", "DerivativeForecastRanker"]

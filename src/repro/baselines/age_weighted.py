@@ -1,0 +1,57 @@
+"""Age-weighted popularity ranking baseline.
+
+Prior work addresses the entrenchment problem by boosting the score of young
+pages: the observed popularity is divided by a function of page age so that a
+new page with a small popularity can still outrank an old page whose
+popularity has saturated.  We implement the common exponential ramp form
+
+``score(p) = P(p, t) / (1 - exp(-age / tau) + epsilon)``
+
+where ``tau`` controls how long a page is considered "young".  As ``age``
+grows the denominator approaches one and the score converges to plain
+popularity, so entrenched pages are ranked exactly as the deterministic
+baseline ranks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rankers import Ranker, _deterministic_order
+from repro.core.rankers_context import RankingContext
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class AgeWeightedRanker(Ranker):
+    """Rank by popularity normalized by an exponential ramp of page age.
+
+    Attributes:
+        tau_days: time constant of the ramp; pages much younger than this
+            receive a large boost.
+        epsilon: numerical floor that bounds the boost for pages of age zero
+            (which would otherwise divide by zero).
+    """
+
+    tau_days: float = 90.0
+    epsilon: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive("tau_days", self.tau_days)
+        check_positive("epsilon", self.epsilon)
+
+    def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
+        if context.ages is None:
+            raise ValueError("AgeWeightedRanker requires page ages in the context")
+        ramp = 1.0 - np.exp(-np.asarray(context.ages, dtype=float) / self.tau_days)
+        scores = context.popularity / (ramp + self.epsilon)
+        return _deterministic_order(scores, context.ages)
+
+    def describe(self) -> str:
+        return "Age-weighted popularity (tau=%.0f days)" % self.tau_days
+
+
+__all__ = ["AgeWeightedRanker"]

@@ -1,0 +1,61 @@
+"""Popularity-derivative forecasting baseline.
+
+Cho, Roy & Adams propose estimating page *quality* by extrapolating the
+popularity trajectory: a young page whose popularity is rising quickly is
+probably better than its current popularity suggests.  We implement a simple
+linear forecast over a window of recent popularity snapshots:
+
+``score(p) = P(p, t) + horizon * dP/dt``
+
+where the derivative is the least-squares slope over the available history.
+Pages with no history fall back to their current popularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rankers import Ranker, _deterministic_order
+from repro.core.rankers_context import RankingContext
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DerivativeForecastRanker(Ranker):
+    """Rank by popularity extrapolated ``horizon_days`` into the future.
+
+    The ranking context must carry ``popularity_history`` with shape
+    ``(history_length, n)`` (oldest snapshot first).  The slope is computed
+    per page by ordinary least squares against the snapshot index, assuming
+    snapshots are evenly spaced ``snapshot_interval_days`` apart.
+    """
+
+    horizon_days: float = 90.0
+    snapshot_interval_days: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("horizon_days", self.horizon_days)
+        check_positive("snapshot_interval_days", self.snapshot_interval_days)
+
+    def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
+        history = context.popularity_history
+        if history is None or np.asarray(history).shape[0] < 2:
+            return _deterministic_order(context.popularity, context.ages)
+        history = np.asarray(history, dtype=float)
+        steps = history.shape[0]
+        t = np.arange(steps, dtype=float) * self.snapshot_interval_days
+        t_centered = t - t.mean()
+        denom = float(np.sum(t_centered**2))
+        slopes = (t_centered @ (history - history.mean(axis=0))) / denom
+        forecast = context.popularity + self.horizon_days * slopes
+        forecast = np.clip(forecast, 0.0, None)
+        return _deterministic_order(forecast, context.ages)
+
+    def describe(self) -> str:
+        return "Derivative forecast (+%.0f days)" % self.horizon_days
+
+
+__all__ = ["DerivativeForecastRanker"]

@@ -1,0 +1,39 @@
+"""Web community model: pages, users, quality distributions and page lifecycle.
+
+A *community* in the paper is the set of pages :math:`P` and users :math:`U`
+interested in a single topic.  The search engine observes popularity only
+through a monitored subset :math:`U_m` of the users.  This package provides
+the configuration object carrying the community characteristics used
+throughout the paper (Table 1), the page state used by the simulator, the
+stationary quality distributions, and the Poisson birth/death lifecycle.
+"""
+
+from repro.community.config import CommunityConfig, DEFAULT_COMMUNITY
+from repro.community.page import Page, PagePool
+from repro.community.quality import (
+    ParetoQualityDistribution,
+    PointMassQualityDistribution,
+    PowerLawQualityDistribution,
+    QualityDistribution,
+    UniformQualityDistribution,
+    LogNormalQualityDistribution,
+    default_web_quality,
+)
+from repro.community.lifecycle import PoissonLifecycle, FixedLifetimeLifecycle, Lifecycle
+
+__all__ = [
+    "CommunityConfig",
+    "DEFAULT_COMMUNITY",
+    "Page",
+    "PagePool",
+    "QualityDistribution",
+    "PowerLawQualityDistribution",
+    "ParetoQualityDistribution",
+    "UniformQualityDistribution",
+    "LogNormalQualityDistribution",
+    "PointMassQualityDistribution",
+    "default_web_quality",
+    "Lifecycle",
+    "PoissonLifecycle",
+    "FixedLifetimeLifecycle",
+]

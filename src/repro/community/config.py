@@ -1,0 +1,150 @@
+"""Community configuration: the high-level characteristics of Table 1.
+
+The default values reproduce the paper's default Web community (Section 6.1):
+``n = 10 000`` pages, ``u = 1 000`` users making ``v_u = 1 000`` visits per
+day, ``m = 100`` monitored users contributing ``v = 100`` monitored visits
+per day, an expected page lifetime of 1.5 years, and a PageRank-shaped
+power-law quality distribution whose best page has quality 0.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.community.quality import PowerLawQualityDistribution, QualityDistribution
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+)
+
+DAYS_PER_YEAR = 365.0
+
+
+@dataclass(frozen=True)
+class CommunityConfig:
+    """High-level characteristics of a Web community.
+
+    Attributes mirror the paper's notation:
+
+    * ``n_pages`` — ``n``, the number of pages in the community.
+    * ``n_users`` — ``u``, the number of users interested in the topic.
+    * ``monitored_fraction`` — ``m / u``, the fraction of users whose visits
+      the search engine can observe when measuring popularity.
+    * ``visits_per_user_per_day`` — ``v_u / u``, each user's daily visit rate.
+    * ``expected_lifetime_days`` — ``l``, the expected page lifetime (the
+      Poisson retirement rate is ``lambda = 1 / l``).
+    * ``quality_distribution`` — the stationary distribution of page quality.
+    """
+
+    n_pages: int = 10_000
+    n_users: int = 1_000
+    monitored_fraction: float = 0.10
+    visits_per_user_per_day: float = 1.0
+    expected_lifetime_days: float = 1.5 * DAYS_PER_YEAR
+    quality_distribution: QualityDistribution = field(
+        default_factory=PowerLawQualityDistribution
+    )
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_pages", self.n_pages)
+        check_positive_int("n_users", self.n_users)
+        check_fraction("monitored_fraction", self.monitored_fraction)
+        check_positive("visits_per_user_per_day", self.visits_per_user_per_day)
+        check_positive("expected_lifetime_days", self.expected_lifetime_days)
+        if int(round(self.n_users * self.monitored_fraction)) < 1:
+            raise ValueError(
+                "monitored_fraction too small: no monitored users for u=%d" % self.n_users
+            )
+
+    # --- Derived quantities (paper notation in parentheses) ---------------
+
+    @property
+    def n_monitored_users(self) -> int:
+        """Number of monitored users (``m``), at least one by construction."""
+        return int(round(self.n_users * self.monitored_fraction))
+
+    @property
+    def total_visit_rate(self) -> float:
+        """Total user visits per day (``v_u``)."""
+        return self.n_users * self.visits_per_user_per_day
+
+    @property
+    def monitored_visit_rate(self) -> float:
+        """Visits per day by monitored users (``v = v_u * m / u``)."""
+        return self.total_visit_rate * self.n_monitored_users / self.n_users
+
+    @property
+    def death_rate(self) -> float:
+        """Poisson page retirement rate per day (``lambda = 1 / l``)."""
+        return 1.0 / self.expected_lifetime_days
+
+    @property
+    def expected_lifetime_years(self) -> float:
+        """Expected page lifetime expressed in years."""
+        return self.expected_lifetime_days / DAYS_PER_YEAR
+
+    # --- Convenience constructors and transforms --------------------------
+
+    def with_pages(self, n_pages: int) -> "CommunityConfig":
+        """Return a copy with a different community size."""
+        return replace(self, n_pages=n_pages)
+
+    def with_users(self, n_users: int) -> "CommunityConfig":
+        """Return a copy with a different user population size."""
+        return replace(self, n_users=n_users)
+
+    def with_lifetime_years(self, years: float) -> "CommunityConfig":
+        """Return a copy with a different expected page lifetime."""
+        return replace(self, expected_lifetime_days=years * DAYS_PER_YEAR)
+
+    def with_total_visit_rate(self, visits_per_day: float) -> "CommunityConfig":
+        """Return a copy in which the whole population makes ``visits_per_day`` visits."""
+        return replace(
+            self, visits_per_user_per_day=visits_per_day / self.n_users
+        )
+
+    def with_quality(self, distribution: QualityDistribution) -> "CommunityConfig":
+        """Return a copy with a different quality distribution."""
+        return replace(self, quality_distribution=distribution)
+
+    def scaled(self, n_pages: int) -> "CommunityConfig":
+        """Return a copy scaled to ``n_pages`` holding the paper's ratios fixed.
+
+        Used by the Figure 7(a) sweep: ``u / n`` and ``m / u`` and per-user
+        visit rate stay at their configured values while ``n`` changes.
+        """
+        ratio_users = self.n_users / self.n_pages
+        return replace(
+            self,
+            n_pages=n_pages,
+            n_users=max(1, int(round(n_pages * ratio_users))),
+        )
+
+    def sample_qualities(self, rng: RandomSource = None) -> np.ndarray:
+        """Draw the stationary quality pool for this community."""
+        return self.quality_distribution.sample(self.n_pages, as_rng(rng))
+
+    def describe(self) -> str:
+        """One-line summary used by experiment reports."""
+        return (
+            "Community(n=%d, u=%d, m=%d, v_u=%.0f/day, v=%.0f/day, l=%.2fy, quality=%s)"
+            % (
+                self.n_pages,
+                self.n_users,
+                self.n_monitored_users,
+                self.total_visit_rate,
+                self.monitored_visit_rate,
+                self.expected_lifetime_years,
+                self.quality_distribution.describe(),
+            )
+        )
+
+
+#: The paper's default Web community (Section 6.1).
+DEFAULT_COMMUNITY = CommunityConfig()
+
+__all__ = ["CommunityConfig", "DEFAULT_COMMUNITY", "DAYS_PER_YEAR"]

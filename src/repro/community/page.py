@@ -1,0 +1,176 @@
+"""Page state and the page pool used by the simulators.
+
+A page carries its intrinsic quality ``Q(p)`` and the number of monitored
+users currently aware of it.  Awareness ``A(p, t)`` is the fraction of
+monitored users who have visited the page at least once, and popularity is
+``P(p, t) = A(p, t) * Q(p)`` (Equation 1 of the paper).
+
+The :class:`PagePool` keeps all per-page state in flat numpy arrays so that
+ranking and visit allocation over communities of up to ``10^6`` pages stay
+vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass
+class Page:
+    """A single Web page in a community.
+
+    This object-level view is convenient for examples and the live study; the
+    bulk simulator uses :class:`PagePool` arrays instead.
+    """
+
+    page_id: int
+    quality: float
+    created_at: float = 0.0
+    aware_monitored_users: int = 0
+    monitored_population: int = 100
+
+    def __post_init__(self) -> None:
+        check_probability("quality", self.quality)
+        check_positive_int("monitored_population", self.monitored_population)
+        if not 0 <= self.aware_monitored_users <= self.monitored_population:
+            raise ValueError("aware_monitored_users out of range")
+
+    @property
+    def awareness(self) -> float:
+        """Fraction of monitored users aware of the page (``A(p, t)``)."""
+        return self.aware_monitored_users / self.monitored_population
+
+    @property
+    def popularity(self) -> float:
+        """Popularity ``P(p, t) = A(p, t) * Q(p)``."""
+        return self.awareness * self.quality
+
+    def record_monitored_visit(self, user_is_new: bool) -> None:
+        """Update awareness after a visit by a monitored user."""
+        if user_is_new and self.aware_monitored_users < self.monitored_population:
+            self.aware_monitored_users += 1
+
+    def age(self, now: float) -> float:
+        """Age of the page at time ``now`` (days)."""
+        return max(0.0, now - self.created_at)
+
+
+class PagePool:
+    """Vectorized per-page state for an entire community.
+
+    The pool stores, for every live page slot: quality, the count of aware
+    monitored users (or a fractional expected count in fluid mode), the
+    creation time, and a monotonically increasing page identifier that
+    changes whenever the slot is recycled by the lifecycle process.
+    """
+
+    def __init__(
+        self,
+        qualities: np.ndarray,
+        monitored_population: int,
+        created_at: float = 0.0,
+    ) -> None:
+        qualities = np.asarray(qualities, dtype=float)
+        if qualities.ndim != 1 or qualities.size == 0:
+            raise ValueError("qualities must be a non-empty 1-D array")
+        if np.any((qualities < 0) | (qualities > 1)):
+            raise ValueError("all quality values must lie in [0, 1]")
+        check_positive_int("monitored_population", monitored_population)
+        self.monitored_population = int(monitored_population)
+        self.quality = qualities.copy()
+        self.aware_count = np.zeros_like(self.quality)
+        self.created_at = np.full_like(self.quality, float(created_at))
+        self.page_ids = np.arange(self.n, dtype=np.int64)
+        self._next_page_id = self.n
+
+    # --- Size and views ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of page slots in the community."""
+        return int(self.quality.size)
+
+    @property
+    def awareness(self) -> np.ndarray:
+        """Awareness vector ``A(p, t)`` in ``[0, 1]``."""
+        return self.aware_count / self.monitored_population
+
+    @property
+    def popularity(self) -> np.ndarray:
+        """Popularity vector ``P(p, t) = A * Q``."""
+        return self.awareness * self.quality
+
+    def ages(self, now: float) -> np.ndarray:
+        """Ages (days) of all page slots at time ``now``."""
+        return np.maximum(0.0, now - self.created_at)
+
+    def zero_awareness_mask(self) -> np.ndarray:
+        """Boolean mask of pages no monitored user has ever visited."""
+        return self.aware_count <= 0
+
+    # --- Mutation ----------------------------------------------------------
+
+    def add_awareness(self, index: int, new_users: float) -> None:
+        """Increase the aware-user count of one page, clipped to ``m``."""
+        self.aware_count[index] = min(
+            self.monitored_population, self.aware_count[index] + new_users
+        )
+
+    def add_awareness_bulk(self, new_users: np.ndarray) -> None:
+        """Increase awareness for all pages at once (fluid mode)."""
+        np.minimum(
+            self.monitored_population,
+            self.aware_count + np.asarray(new_users, dtype=float),
+            out=self.aware_count,
+        )
+
+    def replace_pages(self, indices: np.ndarray, now: float) -> np.ndarray:
+        """Retire the pages at ``indices`` and create fresh equal-quality pages.
+
+        Following the paper's stationarity assumption, the replacement page
+        has the same quality as the retired one but zero awareness.  Each
+        replaced slot receives a brand-new page identifier.  Returns the slot
+        indices that were replaced (useful for observers tracking churn).
+        """
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            return indices
+        self.aware_count[indices] = 0.0
+        self.created_at[indices] = float(now)
+        fresh = np.arange(
+            self._next_page_id, self._next_page_id + indices.size, dtype=np.int64
+        )
+        self.page_ids[indices] = fresh
+        self._next_page_id += indices.size
+        return indices
+
+    # --- Conversion --------------------------------------------------------
+
+    def as_pages(self, now: float = 0.0) -> list:
+        """Materialize the pool as a list of :class:`Page` objects."""
+        pages = []
+        for i in range(self.n):
+            pages.append(
+                Page(
+                    page_id=int(self.page_ids[i]),
+                    quality=float(self.quality[i]),
+                    created_at=float(self.created_at[i]),
+                    aware_monitored_users=int(round(self.aware_count[i])),
+                    monitored_population=self.monitored_population,
+                )
+            )
+        return pages
+
+    @classmethod
+    def from_config(cls, config, rng: RandomSource = None) -> "PagePool":
+        """Build a pool from a :class:`~repro.community.CommunityConfig`."""
+        qualities = config.sample_qualities(as_rng(rng))
+        return cls(qualities, config.n_monitored_users)
+
+
+__all__ = ["Page", "PagePool"]

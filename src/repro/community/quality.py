@@ -1,0 +1,197 @@
+"""Stationary page quality distributions.
+
+The paper has no direct measurement of intrinsic quality and approximates the
+quality distribution by the power law reported for PageRank in Cho & Roy
+(WWW 2004), with the quality of the best page set to 0.4 (the fraction of
+Internet users frequenting the most popular portal).  The default here,
+:class:`PowerLawQualityDistribution`, realizes exactly that construction:
+quality values are a ranked power law ``q_i = q_max * i**(-exponent)`` over
+the ``n`` pages of the community.  Alternative distributions are provided for
+sensitivity analysis and for the live-study item pool.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+
+class QualityDistribution(abc.ABC):
+    """Abstract stationary distribution of page quality values in ``[0, 1]``.
+
+    Implementations must be deterministic given the RNG state so that paired
+    experiments (e.g. with and without rank promotion) can be run on exactly
+    the same quality pool.
+    """
+
+    @abc.abstractmethod
+    def sample(self, n: int, rng: RandomSource = None) -> np.ndarray:
+        """Return an array of ``n`` quality values in ``[0, 1]``."""
+
+    def max_quality(self) -> float:
+        """Upper bound of the support; used for TBP probes and normalization."""
+        return 1.0
+
+    def describe(self) -> str:
+        """Short human-readable description used in experiment reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class PowerLawQualityDistribution(QualityDistribution):
+    """Ranked power law: the ``i``-th best of ``n`` pages has ``q_max * i**(-exponent)``.
+
+    This mirrors the paper's use of the observed PageRank power law as the
+    best available surrogate for the Web quality distribution, anchored so
+    the top page has quality ``q_max`` (0.4 by default).  ``shuffle`` controls
+    whether the returned array is permuted (pages are created in arbitrary
+    order) or sorted descending.
+    """
+
+    q_max: float = 0.4
+    exponent: float = 1.0
+    q_min: float = 1e-4
+    shuffle: bool = True
+
+    def __post_init__(self) -> None:
+        check_probability("q_max", self.q_max)
+        check_positive("exponent", self.exponent)
+        check_probability("q_min", self.q_min)
+        if self.q_min > self.q_max:
+            raise ValueError("q_min must not exceed q_max")
+
+    def sample(self, n: int, rng: RandomSource = None) -> np.ndarray:
+        check_positive_int("n", n)
+        generator = as_rng(rng)
+        ranks = np.arange(1, n + 1, dtype=float)
+        values = self.q_max * ranks ** (-self.exponent)
+        values = np.clip(values, self.q_min, self.q_max)
+        if self.shuffle:
+            generator.shuffle(values)
+        return values
+
+    def max_quality(self) -> float:
+        return self.q_max
+
+    def describe(self) -> str:
+        return "PowerLaw(q_max=%.3f, exponent=%.2f)" % (self.q_max, self.exponent)
+
+
+@dataclass(frozen=True)
+class ParetoQualityDistribution(QualityDistribution):
+    """I.i.d. Pareto-tailed samples rescaled into ``[q_min, q_max]``.
+
+    Unlike the ranked power law, the realized maximum fluctuates between
+    draws; useful for robustness checks where the exact quality pool should
+    not be deterministic.
+    """
+
+    q_max: float = 0.4
+    alpha: float = 2.1
+    q_min: float = 1e-4
+
+    def __post_init__(self) -> None:
+        check_probability("q_max", self.q_max)
+        check_positive("alpha", self.alpha)
+
+    def sample(self, n: int, rng: RandomSource = None) -> np.ndarray:
+        check_positive_int("n", n)
+        generator = as_rng(rng)
+        raw = generator.pareto(self.alpha, size=n) + 1.0
+        scaled = self.q_max * raw / raw.max()
+        return np.clip(scaled, self.q_min, self.q_max)
+
+    def max_quality(self) -> float:
+        return self.q_max
+
+    def describe(self) -> str:
+        return "Pareto(q_max=%.3f, alpha=%.2f)" % (self.q_max, self.alpha)
+
+
+@dataclass(frozen=True)
+class UniformQualityDistribution(QualityDistribution):
+    """Uniform quality in ``[low, high]`` — a deliberately non-skewed control."""
+
+    low: float = 0.0
+    high: float = 0.4
+
+    def __post_init__(self) -> None:
+        check_probability("low", self.low)
+        check_probability("high", self.high)
+        if self.low > self.high:
+            raise ValueError("low must not exceed high")
+
+    def sample(self, n: int, rng: RandomSource = None) -> np.ndarray:
+        check_positive_int("n", n)
+        return as_rng(rng).uniform(self.low, self.high, size=n)
+
+    def max_quality(self) -> float:
+        return self.high
+
+    def describe(self) -> str:
+        return "Uniform(%.3f, %.3f)" % (self.low, self.high)
+
+
+@dataclass(frozen=True)
+class LogNormalQualityDistribution(QualityDistribution):
+    """Log-normal quality clipped to ``[0, q_max]``.
+
+    Log-normal popularity-like distributions are a common alternative to
+    power laws in the web-measurement literature; included for ablations.
+    """
+
+    q_max: float = 0.4
+    mu: float = -3.0
+    sigma: float = 1.0
+
+    def sample(self, n: int, rng: RandomSource = None) -> np.ndarray:
+        check_positive_int("n", n)
+        raw = as_rng(rng).lognormal(self.mu, self.sigma, size=n)
+        return np.clip(raw, 0.0, self.q_max)
+
+    def max_quality(self) -> float:
+        return self.q_max
+
+    def describe(self) -> str:
+        return "LogNormal(mu=%.2f, sigma=%.2f, q_max=%.3f)" % (self.mu, self.sigma, self.q_max)
+
+
+@dataclass(frozen=True)
+class PointMassQualityDistribution(QualityDistribution):
+    """Every page has the same quality; handy for analytic sanity checks."""
+
+    quality: float = 0.4
+
+    def __post_init__(self) -> None:
+        check_probability("quality", self.quality)
+
+    def sample(self, n: int, rng: RandomSource = None) -> np.ndarray:
+        check_positive_int("n", n)
+        return np.full(n, self.quality, dtype=float)
+
+    def max_quality(self) -> float:
+        return self.quality
+
+    def describe(self) -> str:
+        return "PointMass(%.3f)" % self.quality
+
+
+def default_web_quality(n: int, rng: RandomSource = None) -> np.ndarray:
+    """Sample the paper's default quality pool for an ``n``-page community."""
+    return PowerLawQualityDistribution().sample(n, rng)
+
+
+__all__ = [
+    "QualityDistribution",
+    "PowerLawQualityDistribution",
+    "ParetoQualityDistribution",
+    "UniformQualityDistribution",
+    "LogNormalQualityDistribution",
+    "PointMassQualityDistribution",
+    "default_web_quality",
+]

@@ -1,0 +1,119 @@
+"""The randomized merge of deterministic and promoted result lists (Section 4).
+
+Given the deterministically ranked list ``L_d`` and the randomly shuffled
+promotion list ``L_p``, the merged result list ``L`` is built as follows:
+
+1. the top ``k - 1`` elements of ``L_d`` are copied to the front of ``L``;
+2. each remaining position is filled by flipping a biased coin — with
+   probability ``r`` the next element of ``L_p`` is taken, otherwise the next
+   element of ``L_d``; once either list runs dry the other is drained.
+
+``randomized_merge`` performs the merge on arrays of page indices;
+``merge_positions`` exposes only the coin flips (which slots take from the
+promotion list), which the analytical model and several tests use directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_probability
+
+
+def merge_positions(
+    n_total: int,
+    n_promoted: int,
+    k: int,
+    r: float,
+    rng: RandomSource = None,
+) -> np.ndarray:
+    """Return a boolean array over result slots: ``True`` = slot drawn from ``L_p``.
+
+    Slots are indexed from 0 (rank 1).  The first ``k - 1`` slots are always
+    ``False`` (protected deterministic results).  Exactly ``n_promoted``
+    slots are ``True`` overall, because the merge drains both lists.
+    """
+    if n_total < 0 or n_promoted < 0 or n_promoted > n_total:
+        raise ValueError("need 0 <= n_promoted <= n_total")
+    if k < 1:
+        raise ValueError("k must be >= 1, got %d" % k)
+    check_probability("r", r)
+    generator = as_rng(rng)
+
+    slots = np.zeros(n_total, dtype=bool)
+    n_deterministic = n_total - n_promoted
+    taken_d = min(k - 1, n_deterministic)
+    remaining_d = n_deterministic - taken_d
+    remaining_p = n_promoted
+    start = taken_d
+    if remaining_p == 0 or start >= n_total:
+        return slots
+    if remaining_d == 0:
+        slots[start:start + remaining_p] = True
+        return slots
+
+    # Vectorized merge: flip all coins up front, then find the slot at which
+    # one of the two lists runs dry; beyond that point the other list drains.
+    open_slots = n_total - start
+    flips = generator.random(open_slots) < r
+    from_promoted = np.cumsum(flips)
+    from_deterministic = np.cumsum(~flips)
+    promoted_exhausted = np.searchsorted(from_promoted, remaining_p)
+    deterministic_exhausted = np.searchsorted(from_deterministic, remaining_d)
+    if promoted_exhausted <= deterministic_exhausted:
+        # Promotion list drains first; everything after is deterministic.
+        cut = promoted_exhausted + 1
+        slots[start:start + cut] = flips[:cut]
+    else:
+        # Deterministic list drains first; everything after is promoted.
+        cut = deterministic_exhausted + 1
+        slots[start:start + cut] = flips[:cut]
+        slots[start + cut:] = True
+    return slots
+
+
+def randomized_merge(
+    deterministic: np.ndarray,
+    promoted: np.ndarray,
+    k: int,
+    r: float,
+    rng: RandomSource = None,
+    shuffle_promoted: bool = True,
+) -> np.ndarray:
+    """Merge ``L_d`` and ``L_p`` into the final result list ``L``.
+
+    Args:
+        deterministic: page indices in deterministic (popularity) order.
+        promoted: page indices of the promotion pool; shuffled into ``L_p``
+            here unless ``shuffle_promoted`` is False (the live study and
+            some tests supply a pre-shuffled order).
+        k: starting point; ranks better than ``k`` are never perturbed.
+        r: degree of randomization, the bias of the merge coin.
+        rng: random source for both the shuffle and the coin flips.
+
+    Returns:
+        An array containing each input index exactly once, ordered from rank
+        1 to rank ``n``.
+    """
+    deterministic = np.asarray(deterministic, dtype=int)
+    promoted = np.asarray(promoted, dtype=int)
+    generator = as_rng(rng)
+
+    overlap = np.intersect1d(deterministic, promoted)
+    if overlap.size:
+        raise ValueError("deterministic and promoted lists must be disjoint")
+
+    promo = promoted.copy()
+    if shuffle_promoted and promo.size > 1:
+        generator.shuffle(promo)
+
+    n_total = deterministic.size + promo.size
+    slots = merge_positions(n_total, promo.size, k, r, generator)
+    merged = np.empty(n_total, dtype=int)
+    merged[slots] = promo
+    merged[~slots] = deterministic
+    return merged
+
+
+__all__ = ["randomized_merge", "merge_positions"]

@@ -1,0 +1,216 @@
+"""Ranking methods: deterministic popularity ranking, randomized rank
+promotion, and the reference rankers used for evaluation.
+
+Every ranker maps a :class:`~repro.core.rankers_context.RankingContext` to a
+permutation of page indices (rank 1 first).
+
+Tie-breaking matters much more than it may appear: popularity measured over
+``m`` monitored users is heavily discretized, and the thousands of pages tied
+at popularity zero would all be buried at the bottom under a fixed order.
+The default breaks ties *uniformly at random on every ranking call*, which
+matches the analytical model's assumption that a zero-popularity page sits at
+the expected rank of its tie group and models the measurement noise a real
+popularity signal would have.  The live study's older-pages-first rule is
+available as ``tie_breaker="age"``, and a fully deterministic index order as
+``tie_breaker="index"``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.merge import randomized_merge
+from repro.core.promotion import NoPromotionRule, PromotionRule, SelectivePromotionRule
+from repro.core.rankers_context import RankingContext
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_probability
+
+
+class Ranker(abc.ABC):
+    """A search-result ranking method."""
+
+    @abc.abstractmethod
+    def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
+        """Return page indices ordered from rank 1 to rank ``n``."""
+
+    @property
+    def is_randomized(self) -> bool:
+        """Whether repeated calls with the same context can return different lists."""
+        return False
+
+    def describe(self) -> str:
+        """Short description used in experiment reports."""
+        return type(self).__name__
+
+
+TIE_BREAKERS = ("random", "age", "index")
+
+
+def _deterministic_order(
+    scores: np.ndarray,
+    ages: Optional[np.ndarray],
+    tie_breaker: str = "random",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sort descending by score with the requested tie-breaking rule.
+
+    ``numpy.lexsort`` sorts ascending by the last key first, so keys are
+    negated where a descending order is wanted.
+    """
+    scores = np.asarray(scores, dtype=float)
+    n = scores.size
+    if tie_breaker == "random":
+        generator = rng if rng is not None else np.random.default_rng()
+        tie_key = generator.random(n)
+        return np.lexsort((tie_key, -scores))
+    if tie_breaker == "age":
+        ages = np.zeros(n) if ages is None else np.asarray(ages, dtype=float)
+        return np.lexsort((np.arange(n), -ages, -scores))
+    if tie_breaker == "index":
+        return np.lexsort((np.arange(n), -scores))
+    raise ValueError("tie_breaker must be one of %s, got %r" % (TIE_BREAKERS, tie_breaker))
+
+
+@dataclass(frozen=True)
+class PopularityRanker(Ranker):
+    """Non-randomized ranking: strictly descending popularity.
+
+    This is the paper's baseline ("no randomization"): the ranking a
+    popularity-driven search engine produces when it never explores.
+    """
+
+    tie_breaker: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.tie_breaker not in TIE_BREAKERS:
+            raise ValueError("tie_breaker must be one of %s" % (TIE_BREAKERS,))
+
+    @property
+    def is_randomized(self) -> bool:
+        return self.tie_breaker == "random"
+
+    def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
+        return _deterministic_order(
+            context.popularity, context.ages, self.tie_breaker, as_rng(rng)
+        )
+
+    def describe(self) -> str:
+        return "No randomization"
+
+
+@dataclass(frozen=True)
+class RandomizedPromotionRanker(Ranker):
+    """Randomized rank promotion (the paper's proposal, Section 4).
+
+    A promotion rule selects the pool ``P_p``; the pool is shuffled and
+    merged into the deterministic popularity ranking using the starting
+    point ``k`` and degree of randomization ``r``.
+    """
+
+    promotion_rule: PromotionRule = field(default_factory=SelectivePromotionRule)
+    k: int = 1
+    r: float = 0.1
+    tie_breaker: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1, got %d" % self.k)
+        check_probability("r", self.r)
+        if self.tie_breaker not in TIE_BREAKERS:
+            raise ValueError("tie_breaker must be one of %s" % (TIE_BREAKERS,))
+
+    @property
+    def is_randomized(self) -> bool:
+        return True
+
+    def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
+        generator = as_rng(rng)
+        promoted_mask = np.asarray(self.promotion_rule.select(context, generator), dtype=bool)
+        if promoted_mask.shape != (context.n,):
+            raise ValueError("promotion rule returned a mask of the wrong shape")
+        order = _deterministic_order(
+            context.popularity, context.ages, self.tie_breaker, generator
+        )
+        deterministic = order[~promoted_mask[order]]
+        promoted = order[promoted_mask[order]]
+        if promoted.size == 0 or self.r == 0.0:
+            return order
+        return randomized_merge(deterministic, promoted, self.k, self.r, generator)
+
+    def describe(self) -> str:
+        return "Randomized(%s, k=%d, r=%.2f)" % (
+            self.promotion_rule.describe(), self.k, self.r,
+        )
+
+
+def selective_ranker(r: float = 0.1, k: int = 1) -> RandomizedPromotionRanker:
+    """Convenience constructor for selective randomized rank promotion."""
+    return RandomizedPromotionRanker(SelectivePromotionRule(), k=k, r=r)
+
+
+def uniform_ranker(r: float = 0.1, k: int = 1) -> RandomizedPromotionRanker:
+    """Convenience constructor for uniform randomized rank promotion.
+
+    Following the paper, the per-page promotion probability equals the merge
+    bias ``r``.
+    """
+    from repro.core.promotion import UniformPromotionRule
+
+    return RandomizedPromotionRanker(UniformPromotionRule(r), k=k, r=r)
+
+
+@dataclass(frozen=True)
+class QualityOracleRanker(Ranker):
+    """Ranks by intrinsic quality — the unattainable ideal used to normalize QPC."""
+
+    def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
+        if context.quality is None:
+            raise ValueError("QualityOracleRanker requires quality in the context")
+        return _deterministic_order(context.quality, context.ages, "index")
+
+    def describe(self) -> str:
+        return "Quality oracle"
+
+
+@dataclass(frozen=True)
+class RandomRanker(Ranker):
+    """Fully random ranking — the other extreme of the exploration spectrum."""
+
+    @property
+    def is_randomized(self) -> bool:
+        return True
+
+    def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
+        return as_rng(rng).permutation(context.n)
+
+    def describe(self) -> str:
+        return "Fully random"
+
+
+@dataclass(frozen=True)
+class NoPromotionRanker(RandomizedPromotionRanker):
+    """Randomized ranker configured with an empty pool; behaves deterministically.
+
+    Useful in sweeps over ``r`` where ``r = 0`` should fall back to the
+    non-randomized baseline through the exact same code path.
+    """
+
+    promotion_rule: PromotionRule = field(default_factory=NoPromotionRule)
+    r: float = 0.0
+
+
+__all__ = [
+    "Ranker",
+    "RankingContext",
+    "PopularityRanker",
+    "RandomizedPromotionRanker",
+    "QualityOracleRanker",
+    "RandomRanker",
+    "NoPromotionRanker",
+    "selective_ranker",
+    "uniform_ranker",
+]

@@ -1,0 +1,77 @@
+"""The snapshot of community state a ranker sees when producing a result list.
+
+Kept in its own module (rather than inside ``rankers``) so that promotion
+rules can depend on it without importing the ranker hierarchy, avoiding an
+import cycle between ``repro.core.promotion`` and ``repro.core.rankers``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class RankingContext:
+    """Everything a ranking method may consult about the current state.
+
+    Attributes:
+        popularity: per-page popularity ``P(p, t) = A(p, t) * Q(p)`` — the
+            signal the search engine actually measures.
+        awareness: per-page awareness among monitored users, used by the
+            selective promotion rule.
+        quality: per-page intrinsic quality; only the oracle ranker may use
+            it (a real engine cannot observe quality directly).
+        ages: per-page age in days, used by tie-breaking and by the
+            age-based baselines; optional.
+        popularity_history: optional ``(history_length, n)`` array of recent
+            popularity snapshots, newest last, used by the derivative
+            forecasting baseline.
+        monitored_population: number of monitored users ``m``; lets promotion
+            rules reason about awareness in units of users (needed so the
+            selective rule keeps its meaning under fluid, fractional
+            awareness updates).
+    """
+
+    popularity: np.ndarray
+    awareness: np.ndarray
+    quality: Optional[np.ndarray] = None
+    ages: Optional[np.ndarray] = None
+    popularity_history: Optional[np.ndarray] = None
+    monitored_population: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.popularity = np.asarray(self.popularity, dtype=float)
+        self.awareness = np.asarray(self.awareness, dtype=float)
+        if self.popularity.shape != self.awareness.shape:
+            raise ValueError("popularity and awareness must have the same shape")
+        if self.quality is not None:
+            self.quality = np.asarray(self.quality, dtype=float)
+            if self.quality.shape != self.popularity.shape:
+                raise ValueError("quality must have the same shape as popularity")
+        if self.ages is not None:
+            self.ages = np.asarray(self.ages, dtype=float)
+            if self.ages.shape != self.popularity.shape:
+                raise ValueError("ages must have the same shape as popularity")
+
+    @property
+    def n(self) -> int:
+        """Number of pages in the result set."""
+        return int(self.popularity.size)
+
+    @classmethod
+    def from_pool(cls, pool, now: float = 0.0, popularity_history=None) -> "RankingContext":
+        """Build a context from a :class:`~repro.community.PagePool`."""
+        return cls(
+            popularity=pool.popularity,
+            awareness=pool.awareness,
+            quality=pool.quality,
+            ages=pool.ages(now),
+            popularity_history=popularity_history,
+            monitored_population=pool.monitored_population,
+        )
+
+
+__all__ = ["RankingContext"]

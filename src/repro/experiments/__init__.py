@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Each driver exposes a ``run(scale=..., seed=...)`` function returning an
+:class:`~repro.experiments.results.ExperimentResult` whose rows are the same
+series the corresponding figure plots.  The registry maps experiment names
+(``figure1`` .. ``figure8``) to drivers for the CLI and the benchmark
+harness.
+"""
+
+from repro.experiments.defaults import ExperimentScale, default_community, scaled_settings
+from repro.experiments.results import ExperimentResult, SeriesResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "ExperimentScale",
+    "default_community",
+    "scaled_settings",
+    "ExperimentResult",
+    "SeriesResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,70 @@
+"""Figure 3 — steady-state awareness distribution of high-quality pages.
+
+Under non-randomized ranking most high-quality pages sit at near-zero
+awareness; under selective randomized promotion (r = 0.2, k = 1) most sit at
+near-full awareness, with very little mass in between.  The driver evaluates
+Theorem 1 with the solved visit-rate function for both ranking methods and
+reports the awareness histogram of the highest-quality pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.spec import RankingSpec
+from repro.analysis.solver import SteadyStateSolver
+from repro.experiments.defaults import scaled_settings
+from repro.experiments.results import ExperimentResult
+from repro.utils.rng import RandomSource
+
+
+def run(
+    scale: str = "fast",
+    seed: RandomSource = 0,
+    quality: float = None,
+    r: float = 0.2,
+    k: int = 1,
+    bins: int = 10,
+) -> ExperimentResult:
+    """Awareness distribution of top-quality pages, both ranking methods."""
+    settings = scaled_settings(scale)
+    community = settings.community
+    if quality is None:
+        quality = community.quality_distribution.max_quality()
+
+    models = {
+        "no randomization": SteadyStateSolver(
+            community, RankingSpec.nonrandomized(),
+            quality_groups=settings.solver_quality_groups, seed=seed,
+        ).solve(),
+        "selective randomization (r=%.1f, k=%d)" % (r, k): SteadyStateSolver(
+            community, RankingSpec.selective(r=r, k=k),
+            quality_groups=settings.solver_quality_groups, seed=seed,
+        ).solve(),
+    }
+
+    result = ExperimentResult(
+        experiment="figure3",
+        title="Awareness distribution of pages of quality %.2f" % quality,
+        x_label="awareness",
+        y_label="probability",
+    )
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    for name, model in models.items():
+        distribution = model.awareness_distribution(quality)
+        m = distribution.size - 1
+        levels = np.arange(m + 1, dtype=float) / m
+        probabilities, _ = np.histogram(levels, bins=edges, weights=distribution)
+        series = result.add_series(name)
+        for center, probability in zip(centers, probabilities):
+            series.add(center, probability)
+
+    result.notes["shape_check"] = (
+        "expected: mass near awareness 0 without randomization, near 1 with it"
+    )
+    result.notes["scale"] = scale
+    return result
+
+
+__all__ = ["run"]

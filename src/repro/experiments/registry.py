@@ -1,0 +1,55 @@
+"""Registry mapping experiment names to driver callables.
+
+The CLI and the benchmark harness resolve experiments through this registry
+so that the mapping between paper figures and code lives in one place (the
+same mapping is documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.experiments.results import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4a": figure4.run_panel_a,
+    "figure4b": figure4.run_panel_b,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7a": figure7.run_community_size,
+    "figure7b": figure7.run_page_lifetime,
+    "figure7c": figure7.run_visit_rate,
+    "figure7d": figure7.run_user_population,
+    "figure8": figure8.run,
+}
+
+
+def list_experiments() -> List[str]:
+    """Names of all registered experiments, in figure order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """Return the driver for ``name``; raise ``KeyError`` with guidance otherwise."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown experiment %r; available: %s" % (name, ", ".join(EXPERIMENTS))
+        ) from None
+
+
+__all__ = ["EXPERIMENTS", "list_experiments", "get_experiment"]

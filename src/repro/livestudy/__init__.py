@@ -1,0 +1,30 @@
+"""Replication of the paper's live user study (Appendix A, Figure 1).
+
+The original study put ~1000 joke/quotation pages in front of 962 volunteers
+for 45 days, split into a control group (strict ranking by funny-vote
+popularity) and a treatment group (zero-awareness items inserted in random
+order starting at rank 21), and compared the ratio of "funny" votes to total
+votes over the final 15 days.
+
+We cannot re-run the human study, so this package provides a faithful
+behavioural simulation of it: simulated users visit items following the same
+rank-to-visit power law the paper measured from its own participants
+(exponent -3/2), vote "funny" with probability equal to the item's intrinsic
+funniness, and the item pool rotates exactly as described (1000 items,
+30-day lifetimes, staggered initial ages, equal-quality replacement).
+"""
+
+from repro.livestudy.items import ItemPool, funniness_distribution
+from repro.livestudy.experiment import (
+    LiveStudyConfig,
+    LiveStudyExperiment,
+    LiveStudyResult,
+)
+
+__all__ = [
+    "ItemPool",
+    "funniness_distribution",
+    "LiveStudyConfig",
+    "LiveStudyExperiment",
+    "LiveStudyResult",
+]

@@ -1,0 +1,22 @@
+"""Evaluation metrics: quality-per-click (QPC), time-to-become-popular (TBP),
+and awareness summary statistics."""
+
+from repro.metrics.qpc import (
+    QPCAccumulator,
+    ideal_qpc,
+    normalized_qpc,
+    qpc_from_visits,
+)
+from repro.metrics.tbp import time_to_become_popular, tbp_from_trajectory
+from repro.metrics.awareness_stats import awareness_histogram, awareness_summary
+
+__all__ = [
+    "QPCAccumulator",
+    "qpc_from_visits",
+    "ideal_qpc",
+    "normalized_qpc",
+    "time_to_become_popular",
+    "tbp_from_trajectory",
+    "awareness_histogram",
+    "awareness_summary",
+]

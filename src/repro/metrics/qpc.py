@@ -1,0 +1,93 @@
+"""Quality-per-click (QPC).
+
+QPC is the paper's primary objective: the average intrinsic quality of the
+pages users visit, amortized over time,
+
+``QPC = lim_{t->inf} sum_t sum_p V_u(p, t) Q(p) / sum_t sum_p V_u(p, t)``.
+
+Except where noted, the paper reports QPC *normalized* so that 1.0 is the
+QPC of the quality-ordered oracle ranking under the same attention law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.visits.attention import AttentionModel, PowerLawAttention
+
+
+def qpc_from_visits(visits: np.ndarray, quality: np.ndarray) -> float:
+    """QPC of a single visit allocation: quality-weighted mean over visits."""
+    visits = np.asarray(visits, dtype=float)
+    quality = np.asarray(quality, dtype=float)
+    if visits.shape != quality.shape:
+        raise ValueError("visits and quality must have the same shape")
+    total = visits.sum()
+    if total <= 0:
+        return 0.0
+    return float(np.dot(visits, quality) / total)
+
+
+def ideal_qpc(quality: np.ndarray, attention: AttentionModel = None) -> float:
+    """QPC achieved by ranking pages in descending order of quality.
+
+    This is the normalization constant for the paper's "normalized QPC": the
+    best any ranking can do when visits follow the attention law and page
+    awareness plays no role.
+    """
+    quality = np.sort(np.asarray(quality, dtype=float))[::-1]
+    attention = attention or PowerLawAttention()
+    shares = attention.visit_shares(quality.size)
+    return float(np.dot(shares, quality))
+
+
+def normalized_qpc(
+    absolute_qpc: float, quality: np.ndarray, attention: AttentionModel = None
+) -> float:
+    """Normalize an absolute QPC value by the quality-ordered ideal."""
+    ideal = ideal_qpc(quality, attention)
+    if ideal <= 0:
+        return 0.0
+    return absolute_qpc / ideal
+
+
+@dataclass
+class QPCAccumulator:
+    """Accumulates quality-weighted visits across simulation steps.
+
+    The simulator feeds one visit allocation per measured day; the
+    accumulator maintains the running numerator and denominator of the QPC
+    ratio so memory stays constant regardless of horizon.
+    """
+
+    weighted_quality: float = 0.0
+    total_visits: float = 0.0
+    steps: int = field(default=0)
+
+    def update(self, visits: np.ndarray, quality: np.ndarray) -> None:
+        """Add one step's visit allocation."""
+        visits = np.asarray(visits, dtype=float)
+        quality = np.asarray(quality, dtype=float)
+        self.weighted_quality += float(np.dot(visits, quality))
+        self.total_visits += float(visits.sum())
+        self.steps += 1
+
+    @property
+    def value(self) -> float:
+        """The amortized QPC over everything accumulated so far."""
+        if self.total_visits <= 0:
+            return 0.0
+        return self.weighted_quality / self.total_visits
+
+    def merge(self, other: "QPCAccumulator") -> "QPCAccumulator":
+        """Return a new accumulator combining two disjoint measurement windows."""
+        return QPCAccumulator(
+            weighted_quality=self.weighted_quality + other.weighted_quality,
+            total_visits=self.total_visits + other.total_visits,
+            steps=self.steps + other.steps,
+        )
+
+
+__all__ = ["qpc_from_visits", "ideal_qpc", "normalized_qpc", "QPCAccumulator"]

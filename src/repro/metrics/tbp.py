@@ -1,0 +1,66 @@
+"""Time to become popular (TBP).
+
+TBP is the time it takes a (high-quality) page to attain popularity exceeding
+99% of its quality level, i.e. the time for its awareness among monitored
+users to reach 99% (since ``P = A * Q``).  The paper reports TBP both from
+the analytical awareness trajectory and from simulation; this module works on
+any sampled popularity trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+DEFAULT_THRESHOLD = 0.99
+
+
+def time_to_become_popular(
+    times: Sequence[float],
+    popularity: Sequence[float],
+    quality: float,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Optional[float]:
+    """Return the first time at which popularity exceeds ``threshold * quality``.
+
+    Linear interpolation is applied between the two samples straddling the
+    crossing.  Returns ``None`` if the trajectory never crosses the
+    threshold (the page never became popular within the observed horizon).
+    """
+    times = np.asarray(times, dtype=float)
+    popularity = np.asarray(popularity, dtype=float)
+    if times.shape != popularity.shape:
+        raise ValueError("times and popularity must have the same shape")
+    if times.size == 0:
+        return None
+    if quality <= 0:
+        raise ValueError("quality must be positive to define TBP")
+    target = threshold * quality
+    above = popularity >= target
+    if not above.any():
+        return None
+    first = int(np.argmax(above))
+    if first == 0:
+        return float(times[0])
+    t0, t1 = times[first - 1], times[first]
+    p0, p1 = popularity[first - 1], popularity[first]
+    if p1 == p0:
+        return float(t1)
+    fraction = (target - p0) / (p1 - p0)
+    return float(t0 + fraction * (t1 - t0))
+
+
+def tbp_from_trajectory(
+    trajectory: np.ndarray,
+    quality: float,
+    dt: float = 1.0,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Optional[float]:
+    """TBP from a popularity trajectory sampled every ``dt`` days starting at t=0."""
+    trajectory = np.asarray(trajectory, dtype=float)
+    times = np.arange(trajectory.size, dtype=float) * dt
+    return time_to_become_popular(times, trajectory, quality, threshold)
+
+
+__all__ = ["time_to_become_popular", "tbp_from_trajectory", "DEFAULT_THRESHOLD"]

@@ -1,0 +1,46 @@
+"""Discrete-time simulator of Web page popularity evolution.
+
+The simulator mirrors the paper's Section 6.2 description: it maintains an
+evolving ranked list of pages, distributes user visits to pages according to
+the rank-to-visit power law (Equation 4), tracks awareness and popularity of
+individual pages as they evolve over time, and creates and retires pages as
+dictated by the community's lifecycle process.  Measurements are taken after
+a warm-up period long enough to reach steady-state behaviour.
+
+Two update modes are supported:
+
+* ``stochastic`` — monitored-user visits are sampled (multinomial over rank
+  shares, binomial awareness updates), matching the paper's simulator;
+* ``fluid`` — awareness is updated in expectation, which removes sampling
+  noise and lets the large robustness sweeps run quickly.
+"""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.observers import (
+    AwarenessSnapshotObserver,
+    Observer,
+    QPCObserver,
+    TrackedPageObserver,
+)
+from repro.simulation.result import SimulationResult
+from repro.simulation.runner import (
+    compare_policies,
+    measure_qpc,
+    measure_tbp,
+    popularity_trajectory,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "Simulator",
+    "SimulationResult",
+    "Observer",
+    "QPCObserver",
+    "TrackedPageObserver",
+    "AwarenessSnapshotObserver",
+    "measure_qpc",
+    "measure_tbp",
+    "popularity_trajectory",
+    "compare_policies",
+]

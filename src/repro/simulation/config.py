@@ -1,0 +1,101 @@
+"""Simulation run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive, check_positive_int
+
+VALID_MODES = ("stochastic", "fluid")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Controls one simulation run.
+
+    Attributes:
+        warmup_days: number of simulated days discarded before measurement
+            starts; should be *several* expected page lifetimes so the
+            awareness distribution forgets the all-pages-created-at-once
+            initial condition and reaches steady state (the defaults cover
+            the paper's default community with its 1.5-year lifetime — use
+            :meth:`for_community` to scale them for other communities).
+        measure_days: number of days over which QPC and awareness statistics
+            are accumulated after the warm-up.
+        mode: ``"stochastic"`` (sampled visits, the paper's simulator) or
+            ``"fluid"`` (expected-value updates).
+        seed: root seed; ``None`` draws fresh entropy.
+        probe_quality: if set, a probe page of this quality is injected at
+            the end of the warm-up and its popularity trajectory recorded
+            (used for TBP and the popularity-evolution figures).
+        probe_horizon_days: how long the probe trajectory is recorded.
+        snapshot_awareness: whether to keep the final awareness vector in
+            the result (cheap, but can be disabled for very large sweeps).
+    """
+
+    warmup_days: int = 1600
+    measure_days: int = 1100
+    mode: str = "stochastic"
+    seed: object = None
+    probe_quality: float = None
+    probe_horizon_days: int = 500
+    snapshot_awareness: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int("warmup_days", max(self.warmup_days, 1))
+        if self.warmup_days < 0:
+            raise ValueError("warmup_days must be non-negative")
+        check_positive_int("measure_days", self.measure_days)
+        if self.mode not in VALID_MODES:
+            raise ValueError("mode must be one of %s, got %r" % (VALID_MODES, self.mode))
+        if self.probe_quality is not None and not 0 < self.probe_quality <= 1:
+            raise ValueError("probe_quality must lie in (0, 1]")
+        if self.probe_quality is not None:
+            check_positive("probe_horizon_days", self.probe_horizon_days)
+
+    @property
+    def total_days(self) -> int:
+        """Total number of simulated days."""
+        extra = self.probe_horizon_days if self.probe_quality is not None else 0
+        return int(self.warmup_days + max(self.measure_days, extra))
+
+    def fast(self, factor: int = 4) -> "SimulationConfig":
+        """Return a configuration scaled down for quick test/bench runs."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return replace(
+            self,
+            warmup_days=max(1, self.warmup_days // factor),
+            measure_days=max(1, self.measure_days // factor),
+            probe_horizon_days=max(1, self.probe_horizon_days // factor),
+        )
+
+    def with_seed(self, seed) -> "SimulationConfig":
+        """Return a copy with a different root seed."""
+        return replace(self, seed=seed)
+
+    @classmethod
+    def for_community(
+        cls,
+        community,
+        warmup_lifetimes: float = 3.0,
+        measure_lifetimes: float = 2.0,
+        mode: str = "stochastic",
+        **kwargs,
+    ) -> "SimulationConfig":
+        """Scale warm-up and measurement windows to a community's page lifetime.
+
+        Steady-state behaviour is governed by page churn, so expressing the
+        windows in units of the expected lifetime keeps runs comparable when
+        sweeping lifetime or using scaled-down test communities.
+        """
+        lifetime = community.expected_lifetime_days
+        return cls(
+            warmup_days=max(1, int(round(warmup_lifetimes * lifetime))),
+            measure_days=max(1, int(round(measure_lifetimes * lifetime))),
+            mode=mode,
+            **kwargs,
+        )
+
+
+__all__ = ["SimulationConfig", "VALID_MODES"]

@@ -1,0 +1,211 @@
+"""The discrete-time simulation engine.
+
+Each simulated day the engine:
+
+1. asks the ranker for a fresh result list based on current popularity;
+2. converts the rank order into per-page visit shares using the attention
+   model (and blends in random-surfing traffic when a mixed model is set);
+3. allocates the day's monitored and total visit budgets over the pages —
+   sampled in ``stochastic`` mode, in expectation in ``fluid`` mode;
+4. updates per-page awareness from the monitored visits;
+5. lets the lifecycle process retire and replace pages;
+6. after the warm-up, reports the day to all observers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.community.config import CommunityConfig
+from repro.community.lifecycle import Lifecycle, PoissonLifecycle
+from repro.community.page import PagePool
+from repro.core.rankers import Ranker
+from repro.core.rankers_context import RankingContext
+from repro.metrics.tbp import tbp_from_trajectory
+from repro.simulation.config import SimulationConfig
+from repro.simulation.observers import (
+    AwarenessSnapshotObserver,
+    Observer,
+    QPCObserver,
+    TrackedPageObserver,
+)
+from repro.simulation.result import SimulationResult
+from repro.utils.rng import as_rng
+from repro.visits.attention import AttentionModel, PowerLawAttention
+from repro.visits.surfing import MixedSurfingModel
+
+
+class Simulator:
+    """Simulates popularity evolution of one Web community under one ranker."""
+
+    def __init__(
+        self,
+        community: CommunityConfig,
+        ranker: Ranker,
+        config: SimulationConfig = None,
+        attention: AttentionModel = None,
+        surfing: MixedSurfingModel = None,
+        lifecycle: Lifecycle = None,
+        history_length: int = 0,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        self.community = community
+        self.ranker = ranker
+        self.config = config or SimulationConfig()
+        self.attention = attention or PowerLawAttention()
+        self.surfing = surfing or MixedSurfingModel(surfing_fraction=0.0)
+        self.lifecycle = lifecycle or PoissonLifecycle.from_lifetime(
+            community.expected_lifetime_days
+        )
+        if history_length < 0:
+            raise ValueError("history_length must be non-negative")
+        self.history_length = int(history_length)
+        self.extra_observers: List[Observer] = list(observers)
+
+        self._rng = as_rng(self.config.seed)
+        self.pool = PagePool.from_config(community, self._rng)
+        self.day = 0
+        self._history: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------ API
+
+    def run(self) -> SimulationResult:
+        """Run warm-up plus measurement and return the collected result."""
+        config = self.config
+        qpc_observer = QPCObserver()
+        awareness_observer = (
+            AwarenessSnapshotObserver() if config.snapshot_awareness else None
+        )
+        observers: List[Observer] = [qpc_observer] + self.extra_observers
+        if awareness_observer is not None:
+            observers.append(awareness_observer)
+
+        for _ in range(config.warmup_days):
+            self.step()
+
+        probe_observer: Optional[TrackedPageObserver] = None
+        if config.probe_quality is not None:
+            probe_observer = self._inject_probe(config.probe_quality)
+            observers.append(probe_observer)
+
+        measure_days = config.measure_days
+        if probe_observer is not None:
+            measure_days = max(measure_days, config.probe_horizon_days)
+        for _ in range(measure_days):
+            visits_all = self.step()
+            for observer in observers:
+                observer.record(self.day, self.pool, visits_all)
+
+        probe_trajectory = None
+        tbp = None
+        if probe_observer is not None:
+            probe_trajectory = probe_observer.trajectory()
+            if probe_trajectory.size:
+                tbp = tbp_from_trajectory(
+                    probe_trajectory, config.probe_quality, dt=1.0
+                )
+
+        qpc_absolute = qpc_observer.qpc
+        qpc_normalized = SimulationResult.normalize(
+            qpc_absolute, self.pool.quality, self.attention
+        )
+        return SimulationResult(
+            qpc_absolute=qpc_absolute,
+            qpc_normalized=qpc_normalized,
+            quality=self.pool.quality.copy(),
+            final_awareness=(
+                awareness_observer.latest if awareness_observer is not None else None
+            ),
+            probe_trajectory=probe_trajectory,
+            probe_quality=config.probe_quality,
+            tbp_days=tbp,
+            days_simulated=self.day,
+        )
+
+    def step(self) -> np.ndarray:
+        """Advance the simulation by one day; return all-user visits per page."""
+        pool = self.pool
+        context = RankingContext.from_pool(
+            pool, now=float(self.day), popularity_history=self._history_array()
+        )
+        ranking = self.ranker.rank(context, self._rng)
+
+        shares_by_rank = self.attention.visit_shares(pool.n)
+        shares_by_page = np.empty(pool.n, dtype=float)
+        shares_by_page[ranking] = shares_by_rank
+        if not self.surfing.is_pure_search:
+            surf_shares = self.surfing.surfing_shares(pool.popularity)
+            x = self.surfing.surfing_fraction
+            shares_by_page = (1.0 - x) * shares_by_page + x * surf_shares
+
+        monitored_visits = self._allocate_monitored(shares_by_page)
+        visits_all_users = shares_by_page * self.community.total_visit_rate
+
+        self._update_awareness(monitored_visits)
+        self.lifecycle.step(pool, now=float(self.day), rng=self._rng)
+        self._push_history(pool.popularity)
+        self.day += 1
+        return visits_all_users
+
+    # ------------------------------------------------------------ internals
+
+    def _allocate_monitored(self, shares_by_page: np.ndarray) -> np.ndarray:
+        rate = self.community.monitored_visit_rate
+        if self.config.mode == "fluid":
+            return shares_by_page * rate
+        count = int(round(rate))
+        if count <= 0:
+            return np.zeros_like(shares_by_page)
+        normalized = shares_by_page / shares_by_page.sum()
+        return self._rng.multinomial(count, normalized).astype(float)
+
+    def _update_awareness(self, monitored_visits: np.ndarray) -> None:
+        pool = self.pool
+        m = pool.monitored_population
+        visited = monitored_visits > 0
+        if not np.any(visited):
+            return
+        unaware = m - pool.aware_count
+        # Probability that a given unaware user was among the day's visitors.
+        p_new = 1.0 - (1.0 - 1.0 / m) ** monitored_visits
+        if self.config.mode == "fluid":
+            gained = unaware * p_new
+        else:
+            gained = np.zeros(pool.n)
+            idx = np.flatnonzero(visited & (unaware > 0))
+            if idx.size:
+                gained[idx] = self._rng.binomial(
+                    unaware[idx].astype(int), p_new[idx]
+                )
+        pool.add_awareness_bulk(gained)
+
+    def _push_history(self, popularity: np.ndarray) -> None:
+        if self.history_length <= 0:
+            return
+        self._history.append(popularity.copy())
+        if len(self._history) > self.history_length:
+            self._history.pop(0)
+
+    def _history_array(self) -> Optional[np.ndarray]:
+        if self.history_length <= 0 or len(self._history) < 2:
+            return None
+        return np.asarray(self._history)
+
+    def _inject_probe(self, quality: float) -> TrackedPageObserver:
+        """Replace one page slot with a fresh page of exactly ``quality``.
+
+        The slot whose stationary quality is closest to the probe quality is
+        chosen so the quality distribution is perturbed as little as
+        possible; the paper's probe (quality 0.4) coincides with the best
+        page of the default community.
+        """
+        pool = self.pool
+        slot = int(np.argmin(np.abs(pool.quality - quality)))
+        pool.quality[slot] = float(quality)
+        pool.replace_pages(np.array([slot]), now=float(self.day))
+        return TrackedPageObserver(slot=slot, page_id=int(pool.page_ids[slot]))
+
+
+__all__ = ["Simulator"]

@@ -1,0 +1,99 @@
+"""Observers collect measurements while the simulator steps.
+
+Observers receive a callback after every simulated day with the current day
+index, the page pool, and the visit allocation used that day.  The engine
+only starts calling ``record`` after the warm-up, so observers never need to
+know about warm-up handling themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.community.page import PagePool
+from repro.metrics.qpc import QPCAccumulator
+
+
+class Observer(abc.ABC):
+    """Receives one callback per measured simulation day."""
+
+    @abc.abstractmethod
+    def record(self, day: int, pool: PagePool, visits_all_users: np.ndarray) -> None:
+        """Record measurements for one day.
+
+        ``visits_all_users`` is the expected (or sampled) visit count per
+        page for the *entire* user population that day.
+        """
+
+
+class QPCObserver(Observer):
+    """Accumulates the quality-per-click ratio over the measurement window."""
+
+    def __init__(self) -> None:
+        self.accumulator = QPCAccumulator()
+
+    def record(self, day: int, pool: PagePool, visits_all_users: np.ndarray) -> None:
+        self.accumulator.update(visits_all_users, pool.quality)
+
+    @property
+    def qpc(self) -> float:
+        """Amortized QPC so far."""
+        return self.accumulator.value
+
+
+class TrackedPageObserver(Observer):
+    """Records the daily popularity of a single page slot until it is retired.
+
+    The probe page used for TBP and the popularity-evolution figures is
+    tracked by slot index plus page identifier, so the trajectory stops if
+    the lifecycle process happens to retire the probe.
+    """
+
+    def __init__(self, slot: int, page_id: int) -> None:
+        self.slot = int(slot)
+        self.page_id = int(page_id)
+        self.popularity: List[float] = []
+        self.visits: List[float] = []
+        self.alive = True
+
+    def record(self, day: int, pool: PagePool, visits_all_users: np.ndarray) -> None:
+        if not self.alive:
+            return
+        if pool.page_ids[self.slot] != self.page_id:
+            self.alive = False
+            return
+        self.popularity.append(float(pool.popularity[self.slot]))
+        self.visits.append(float(visits_all_users[self.slot]))
+
+    def trajectory(self) -> np.ndarray:
+        """Popularity trajectory sampled once per recorded day."""
+        return np.asarray(self.popularity, dtype=float)
+
+    def visit_trajectory(self) -> np.ndarray:
+        """Daily visit counts received by the tracked page."""
+        return np.asarray(self.visits, dtype=float)
+
+
+class AwarenessSnapshotObserver(Observer):
+    """Keeps the latest awareness vector (and optionally periodic snapshots)."""
+
+    def __init__(self, every: Optional[int] = None) -> None:
+        self.every = every
+        self.latest: Optional[np.ndarray] = None
+        self.snapshots: List[np.ndarray] = []
+
+    def record(self, day: int, pool: PagePool, visits_all_users: np.ndarray) -> None:
+        self.latest = pool.awareness.copy()
+        if self.every is not None and day % self.every == 0:
+            self.snapshots.append(self.latest.copy())
+
+
+__all__ = [
+    "Observer",
+    "QPCObserver",
+    "TrackedPageObserver",
+    "AwarenessSnapshotObserver",
+]

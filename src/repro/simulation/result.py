@@ -1,0 +1,62 @@
+"""Simulation result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.metrics.qpc import ideal_qpc
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run measured.
+
+    Attributes:
+        qpc_absolute: amortized quality-per-click over the measurement window.
+        qpc_normalized: the same, divided by the quality-ordered ideal for
+            this community's quality pool and attention law.
+        quality: the stationary quality pool of the simulated community.
+        final_awareness: awareness vector at the end of the run (or ``None``
+            when snapshots were disabled).
+        probe_trajectory: popularity trajectory of the injected probe page,
+            sampled once per day from its creation (or ``None``).
+        probe_quality: quality of the probe page.
+        tbp_days: time for the probe to exceed 99% of its quality, or
+            ``None`` if it never did within the recorded horizon.
+        days_simulated: total days stepped (warm-up + measurement).
+        extra: free-form per-experiment annotations.
+    """
+
+    qpc_absolute: float
+    qpc_normalized: float
+    quality: np.ndarray
+    final_awareness: Optional[np.ndarray] = None
+    probe_trajectory: Optional[np.ndarray] = None
+    probe_quality: Optional[float] = None
+    tbp_days: Optional[float] = None
+    days_simulated: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            "QPC=%.4f (normalized %.4f)" % (self.qpc_absolute, self.qpc_normalized),
+        ]
+        if self.tbp_days is not None:
+            parts.append("TBP=%.1f days" % self.tbp_days)
+        elif self.probe_quality is not None:
+            parts.append("TBP=not reached")
+        parts.append("days=%d" % self.days_simulated)
+        return ", ".join(parts)
+
+    @staticmethod
+    def normalize(qpc_absolute: float, quality: np.ndarray, attention=None) -> float:
+        """Normalize an absolute QPC by the ideal for ``quality``."""
+        ideal = ideal_qpc(quality, attention)
+        return qpc_absolute / ideal if ideal > 0 else 0.0
+
+
+__all__ = ["SimulationResult"]

@@ -1,0 +1,177 @@
+"""High-level helpers that wrap the simulator for common measurements.
+
+The experiment drivers and benchmarks use these functions instead of wiring
+up a :class:`~repro.simulation.engine.Simulator` by hand, so the warm-up,
+probe-injection and averaging conventions stay identical across figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.community.config import CommunityConfig
+from repro.core.policy import RankPromotionPolicy
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import Simulator
+from repro.simulation.result import SimulationResult
+from repro.utils.rng import RandomSource, spawn_rngs
+from repro.visits.attention import AttentionModel
+from repro.visits.surfing import MixedSurfingModel
+
+
+def _run_once(
+    community: CommunityConfig,
+    policy: RankPromotionPolicy,
+    config: SimulationConfig,
+    attention: AttentionModel = None,
+    surfing: MixedSurfingModel = None,
+    rng: RandomSource = None,
+) -> SimulationResult:
+    simulator = Simulator(
+        community=community,
+        ranker=policy.build_ranker(),
+        config=config.with_seed(rng),
+        attention=attention,
+        surfing=surfing,
+    )
+    return simulator.run()
+
+
+def measure_qpc(
+    community: CommunityConfig,
+    policy: RankPromotionPolicy,
+    config: SimulationConfig = None,
+    attention: AttentionModel = None,
+    surfing: MixedSurfingModel = None,
+    repetitions: int = 1,
+    seed: RandomSource = None,
+) -> Dict[str, float]:
+    """Measure absolute and normalized QPC for one policy, averaged over runs."""
+    config = config or SimulationConfig()
+    rngs = spawn_rngs(seed, repetitions)
+    absolute, normalized = [], []
+    for rng in rngs:
+        result = _run_once(community, policy, config, attention, surfing, rng)
+        absolute.append(result.qpc_absolute)
+        normalized.append(result.qpc_normalized)
+    return {
+        "qpc_absolute": float(np.mean(absolute)),
+        "qpc_normalized": float(np.mean(normalized)),
+        "qpc_absolute_std": float(np.std(absolute)),
+        "qpc_normalized_std": float(np.std(normalized)),
+        "repetitions": float(repetitions),
+    }
+
+
+def measure_tbp(
+    community: CommunityConfig,
+    policy: RankPromotionPolicy,
+    probe_quality: float = 0.4,
+    config: SimulationConfig = None,
+    repetitions: int = 1,
+    seed: RandomSource = None,
+) -> Dict[str, float]:
+    """Measure the time for a fresh probe page to become popular.
+
+    Probes that never reach 99% of their quality within the recorded horizon
+    are counted at the horizon (a conservative lower bound), and the fraction
+    of such censored runs is reported separately.
+    """
+    config = config or SimulationConfig()
+    config = SimulationConfig(
+        warmup_days=config.warmup_days,
+        measure_days=config.measure_days,
+        mode=config.mode,
+        seed=config.seed,
+        probe_quality=probe_quality,
+        probe_horizon_days=config.probe_horizon_days,
+        snapshot_awareness=False,
+    )
+    rngs = spawn_rngs(seed, repetitions)
+    values, censored = [], 0
+    for rng in rngs:
+        result = _run_once(community, policy, config, rng=rng)
+        if result.tbp_days is None:
+            censored += 1
+            values.append(float(config.probe_horizon_days))
+        else:
+            values.append(result.tbp_days)
+    return {
+        "tbp_days": float(np.mean(values)),
+        "tbp_days_std": float(np.std(values)),
+        "censored_fraction": censored / float(repetitions),
+        "repetitions": float(repetitions),
+    }
+
+
+def popularity_trajectory(
+    community: CommunityConfig,
+    policy: RankPromotionPolicy,
+    probe_quality: float = 0.4,
+    horizon_days: int = 500,
+    config: SimulationConfig = None,
+    repetitions: int = 1,
+    seed: RandomSource = None,
+) -> np.ndarray:
+    """Average popularity trajectory of a fresh probe page (Figure 4a style).
+
+    Trajectories shorter than the horizon (probe retired early) are padded
+    with their last value before averaging.
+    """
+    base = config or SimulationConfig()
+    config = SimulationConfig(
+        warmup_days=base.warmup_days,
+        measure_days=base.measure_days,
+        mode=base.mode,
+        probe_quality=probe_quality,
+        probe_horizon_days=horizon_days,
+        snapshot_awareness=False,
+    )
+    rngs = spawn_rngs(seed, repetitions)
+    trajectories = []
+    for rng in rngs:
+        result = _run_once(community, policy, config, rng=rng)
+        trajectory = result.probe_trajectory
+        if trajectory is None or trajectory.size == 0:
+            trajectory = np.zeros(horizon_days)
+        if trajectory.size < horizon_days:
+            pad_value = trajectory[-1] if trajectory.size else 0.0
+            trajectory = np.concatenate(
+                [trajectory, np.full(horizon_days - trajectory.size, pad_value)]
+            )
+        trajectories.append(trajectory[:horizon_days])
+    return np.mean(np.asarray(trajectories), axis=0)
+
+
+def compare_policies(
+    community: CommunityConfig,
+    policies: Dict[str, RankPromotionPolicy],
+    config: SimulationConfig = None,
+    attention: AttentionModel = None,
+    surfing: MixedSurfingModel = None,
+    repetitions: int = 1,
+    seed: RandomSource = None,
+) -> Dict[str, Dict[str, float]]:
+    """Measure QPC for several policies on the same community settings."""
+    results = {}
+    for name, policy in policies.items():
+        results[name] = measure_qpc(
+            community,
+            policy,
+            config=config,
+            attention=attention,
+            surfing=surfing,
+            repetitions=repetitions,
+            seed=seed,
+        )
+    return results
+
+
+__all__ = [
+    "measure_qpc",
+    "measure_tbp",
+    "popularity_trajectory",
+    "compare_policies",
+]

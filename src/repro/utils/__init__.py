@@ -1,0 +1,40 @@
+"""Shared utilities: seeded RNG handling, numeric helpers, table formatting.
+
+These helpers are deliberately free of any domain knowledge so that every
+other subpackage can depend on them without creating import cycles.
+"""
+
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+from repro.utils.mathutils import (
+    LogQuadraticCurve,
+    fit_log_quadratic,
+    normalized,
+    power_law_weights,
+    safe_log,
+    zipf_normalization,
+)
+from repro.utils.tables import Table, format_series
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "as_rng",
+    "spawn_rngs",
+    "LogQuadraticCurve",
+    "fit_log_quadratic",
+    "normalized",
+    "power_law_weights",
+    "safe_log",
+    "zipf_normalization",
+    "Table",
+    "format_series",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

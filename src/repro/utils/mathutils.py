@@ -1,0 +1,131 @@
+"""Numeric helpers shared by the analytical model and the simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+_LOG_FLOOR = 1e-300
+
+
+def safe_log(x, floor: float = _LOG_FLOOR) -> np.ndarray:
+    """Natural log with values clipped away from zero.
+
+    The fixed-point solver repeatedly fits curves to visit rates that can be
+    extremely small for unpopular pages; clipping avoids ``-inf`` while
+    preserving ordering.
+    """
+    arr = np.asarray(x, dtype=float)
+    return np.log(np.clip(arr, floor, None))
+
+
+def zipf_normalization(n: int, exponent: float) -> float:
+    """Return ``sum_{i=1}^{n} i**(-exponent)`` (the generalized harmonic number).
+
+    This is the normalization constant ``theta`` denominator of the paper's
+    rank-to-visit law (Equation 4) when ``exponent = 1.5``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive, got %d" % n)
+    ranks = np.arange(1, n + 1, dtype=float)
+    return float(np.sum(ranks ** (-exponent)))
+
+
+def power_law_weights(n: int, exponent: float) -> np.ndarray:
+    """Return normalized weights ``i**(-exponent) / sum_j j**(-exponent)``.
+
+    ``weights[0]`` corresponds to rank 1.  The weights sum to one.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive, got %d" % n)
+    ranks = np.arange(1, n + 1, dtype=float)
+    raw = ranks ** (-exponent)
+    return raw / raw.sum()
+
+
+def normalized(values: Sequence[float]) -> np.ndarray:
+    """Return ``values`` scaled to sum to one.
+
+    A vector of zeros is returned unchanged (rather than raising), because
+    transient simulation states can legitimately have no visits at all.
+    """
+    arr = np.asarray(values, dtype=float)
+    total = arr.sum()
+    if total <= 0:
+        return np.zeros_like(arr)
+    return arr / total
+
+
+@dataclass(frozen=True)
+class LogQuadraticCurve:
+    """A quadratic curve in log-log space: ``log F = a*(log x)^2 + b*log x + c``.
+
+    The paper reports that the popularity-to-visit-rate function ``F(x)`` is
+    fit well by this family across all parameter settings tested, and the
+    fixed-point solver uses it as the parametric form between iterations.
+    The value at ``x = 0`` cannot be represented in log space, so it is
+    carried explicitly in ``value_at_zero``.
+    """
+
+    a: float
+    b: float
+    c: float
+    value_at_zero: float = 0.0
+
+    def __call__(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=float)
+        scalar = arr.ndim == 0
+        arr = np.atleast_1d(arr).astype(float)
+        out = np.empty_like(arr)
+        zero_mask = arr <= 0
+        out[zero_mask] = self.value_at_zero
+        logs = np.log(arr[~zero_mask]) if np.any(~zero_mask) else np.empty(0)
+        out[~zero_mask] = np.exp(self.a * logs**2 + self.b * logs + self.c)
+        return float(out[0]) if scalar else out
+
+    def coefficients(self) -> np.ndarray:
+        """Return ``(a, b, c)`` as an array, used for convergence checks."""
+        return np.array([self.a, self.b, self.c], dtype=float)
+
+
+def fit_log_quadratic(
+    x: Sequence[float],
+    y: Sequence[float],
+    value_at_zero: float = 0.0,
+    anchor_weight: float = 10.0,
+) -> LogQuadraticCurve:
+    """Fit ``log y`` as a quadratic polynomial of ``log x``.
+
+    Points with non-positive ``x`` or ``y`` are dropped (the ``x = 0`` point is
+    carried separately via ``value_at_zero``).  Following the paper's note that
+    the extreme points must be matched carefully, the smallest and largest
+    retained ``x`` receive ``anchor_weight`` times the weight of interior
+    points in the least-squares fit.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError("x and y must have the same shape")
+    keep = (xs > 0) & (ys > 0)
+    xs, ys = xs[keep], ys[keep]
+    if xs.size < 3:
+        raise ValueError("need at least three positive points to fit a log-quadratic curve")
+    lx, ly = np.log(xs), np.log(ys)
+    weights = np.ones_like(lx)
+    weights[np.argmin(lx)] = anchor_weight
+    weights[np.argmax(lx)] = anchor_weight
+    coeffs = np.polyfit(lx, ly, deg=2, w=weights)
+    return LogQuadraticCurve(a=float(coeffs[0]), b=float(coeffs[1]), c=float(coeffs[2]),
+                             value_at_zero=value_at_zero)
+
+
+__all__ = [
+    "safe_log",
+    "zipf_normalization",
+    "power_law_weights",
+    "normalized",
+    "LogQuadraticCurve",
+    "fit_log_quadratic",
+]

@@ -1,0 +1,69 @@
+"""Lightweight ASCII table and series formatting for experiment output.
+
+The benchmark harness and the CLI print the same rows/series the paper's
+figures report; these helpers keep that output readable without pulling in a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """A simple column-aligned ASCII table builder."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values) -> None:
+        """Append a row; values are stringified with sensible float formatting."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "expected %d values, got %d" % (len(self.columns), len(values))
+            )
+        self.rows.append([_format_cell(v) for v in values])
+
+    def render(self) -> str:
+        """Render the table as a string with a header rule."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.render()
+
+
+def format_series(name: str, xs: Iterable, ys: Iterable) -> str:
+    """Format a named (x, y) series as one line per point."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append("  %s -> %s" % (_format_cell(x), _format_cell(y)))
+    return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return "%.3e" % value
+        return "%.4f" % value
+    return str(value)
+
+
+__all__ = ["Table", "format_series"]

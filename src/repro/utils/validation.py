@@ -1,0 +1,39 @@
+"""Parameter validation helpers used by configuration dataclasses."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError("%s must be positive, got %r" % (name, value))
+    return float(value)
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Raise ``ValueError`` unless ``value`` is a positive integer."""
+    if int(value) != value or value <= 0:
+        raise ValueError("%s must be a positive integer, got %r" % (name, value))
+    return int(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError("%s must be in [0, 1], got %r" % (name, value))
+    return float(value)
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``0 < value <= 1``."""
+    if not 0.0 < value <= 1.0:
+        raise ValueError("%s must be in (0, 1], got %r" % (name, value))
+    return float(value)
+
+
+__all__ = [
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_fraction",
+]

@@ -1,0 +1,31 @@
+"""User visit models: rank-biased attention, visit allocation, mixed surfing.
+
+The paper assumes that the expected number of visits a page receives depends
+on the rank position at which the search engine lists it, following the
+power law fitted on AltaVista logs, ``F2(rank) = theta * rank**(-3/2)``
+(Equation 4).  This package provides that law (and alternatives), utilities
+to allocate a community's daily visit budget over a ranked list, and the
+mixed surf-and-search visit model of Section 8.
+"""
+
+from repro.visits.attention import (
+    AttentionModel,
+    CascadeAttention,
+    GeometricAttention,
+    PowerLawAttention,
+    UniformAttention,
+)
+from repro.visits.allocation import VisitAllocator, allocate_visits, expected_visits_by_rank
+from repro.visits.surfing import MixedSurfingModel
+
+__all__ = [
+    "AttentionModel",
+    "PowerLawAttention",
+    "UniformAttention",
+    "GeometricAttention",
+    "CascadeAttention",
+    "VisitAllocator",
+    "allocate_visits",
+    "expected_visits_by_rank",
+    "MixedSurfingModel",
+]

@@ -1,0 +1,81 @@
+"""Allocation of a community's visit budget over a ranked result list."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.visits.attention import AttentionModel, PowerLawAttention
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive
+
+
+def expected_visits_by_rank(
+    n: int, total_visits: float, attention: AttentionModel = None
+) -> np.ndarray:
+    """Expected visits per rank position (rank 1 first).
+
+    With the default power-law attention model this is the paper's
+    ``F2(rank) = theta * rank**(-3/2)`` where ``theta`` normalizes the total
+    to ``total_visits``.
+    """
+    attention = attention or PowerLawAttention()
+    return attention.visit_rates(n, total_visits)
+
+
+def allocate_visits(
+    ranking: np.ndarray,
+    total_visits: float,
+    attention: AttentionModel = None,
+) -> np.ndarray:
+    """Return expected visits per *page index* given a ranking.
+
+    ``ranking`` is a permutation of page indices ordered from rank 1 to rank
+    ``n``.  The result is indexed by page, i.e. ``result[p]`` is the expected
+    number of visits to page ``p``.
+    """
+    ranking = np.asarray(ranking, dtype=int)
+    n = ranking.size
+    by_rank = expected_visits_by_rank(n, total_visits, attention)
+    by_page = np.empty(n, dtype=float)
+    by_page[ranking] = by_rank
+    return by_page
+
+
+@dataclass
+class VisitAllocator:
+    """Distributes daily visits over a ranking, in expectation or by sampling.
+
+    ``expected`` allocation returns real-valued visit rates; ``sample``
+    draws an integer visit count per page from a multinomial over the
+    attention shares, which is what the stochastic simulator uses to mimic
+    individual user clicks.
+    """
+
+    total_visits: float
+    attention: AttentionModel = None
+
+    def __post_init__(self) -> None:
+        check_positive("total_visits", self.total_visits)
+        if self.attention is None:
+            self.attention = PowerLawAttention()
+
+    def expected(self, ranking: np.ndarray) -> np.ndarray:
+        """Expected visits per page index."""
+        return allocate_visits(ranking, self.total_visits, self.attention)
+
+    def sample(self, ranking: np.ndarray, rng: RandomSource = None) -> np.ndarray:
+        """Sampled integer visits per page index (multinomial over rank shares)."""
+        ranking = np.asarray(ranking, dtype=int)
+        n = ranking.size
+        shares = self.attention.visit_shares(n)
+        generator = as_rng(rng)
+        count = int(round(self.total_visits))
+        draws = generator.multinomial(count, shares)
+        by_page = np.zeros(n, dtype=float)
+        by_page[ranking] = draws
+        return by_page
+
+
+__all__ = ["VisitAllocator", "allocate_visits", "expected_visits_by_rank"]

@@ -1,0 +1,89 @@
+"""Mixed surfing and searching visit model (Section 8 of the paper).
+
+When users do not exclusively rely on the search engine, a fraction ``x`` of
+page visits comes from *random surfing*: following links with probability
+``1 - c`` and teleporting to a uniformly random page with probability ``c``
+(the PageRank teleportation constant, 0.15 by default).  The paper models the
+link-following component as proportional to current popularity, giving
+
+``V(p, t) = (1 - x) * F(P(p, t)) + x * ((1 - c) * P(p, t) / sum_P + c / n) * v``
+
+This module implements that combination for both the simulator (which knows
+each page's search-driven visit rate directly) and the analytical model
+(which works with the solved function ``F``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class MixedSurfingModel:
+    """Combines search-engine-driven visits with popularity-proportional surfing.
+
+    Attributes:
+        surfing_fraction: the paper's ``x`` — fraction of visits that come
+            from random surfing rather than querying the search engine.
+        teleportation: the paper's ``c`` — probability a surfer jumps to a
+            uniformly random page instead of following a link.
+    """
+
+    surfing_fraction: float = 0.0
+    teleportation: float = 0.15
+
+    def __post_init__(self) -> None:
+        check_probability("surfing_fraction", self.surfing_fraction)
+        check_probability("teleportation", self.teleportation)
+
+    @property
+    def is_pure_search(self) -> bool:
+        """True when every visit goes through the search engine (``x = 0``)."""
+        return self.surfing_fraction == 0.0
+
+    def surfing_shares(self, popularity: np.ndarray) -> np.ndarray:
+        """Per-page share of *surfing* visits given current popularity values.
+
+        The share is ``(1 - c) * P(p) / sum(P) + c / n``; when total
+        popularity is zero all surfing mass goes through teleportation.
+        """
+        popularity = np.asarray(popularity, dtype=float)
+        n = popularity.size
+        if n == 0:
+            raise ValueError("popularity vector must be non-empty")
+        total = popularity.sum()
+        teleport = np.full(n, 1.0 / n)
+        if total <= 0:
+            return teleport
+        link_follow = popularity / total
+        return (1.0 - self.teleportation) * link_follow + self.teleportation * teleport
+
+    def combine(
+        self,
+        search_visits: np.ndarray,
+        popularity: np.ndarray,
+        total_visits: float,
+    ) -> np.ndarray:
+        """Blend search-driven visit rates with surfing-driven visit rates.
+
+        ``search_visits`` must already sum (approximately) to
+        ``total_visits``; the result preserves the total while moving a
+        fraction ``x`` of it onto the surfing distribution.
+        """
+        search_visits = np.asarray(search_visits, dtype=float)
+        x = self.surfing_fraction
+        if x == 0.0:
+            return search_visits.copy()
+        surf = self.surfing_shares(popularity) * total_visits
+        return (1.0 - x) * search_visits + x * surf
+
+    def describe(self) -> str:
+        """Short description used in experiment reports."""
+        return "MixedSurfing(x=%.2f, c=%.2f)" % (self.surfing_fraction, self.teleportation)
+
+
+__all__ = ["MixedSurfingModel"]

@@ -1,0 +1,38 @@
+"""Web-graph substrate: link-based popularity signals on synthetic graphs.
+
+The paper measures popularity by "in-link count, PageRank, user traffic, or
+some other indicator"; its model abstracts all of them into the awareness ×
+quality popularity signal.  This package provides the concrete link-based
+substrate so that the same ranking experiments can be driven by an explicit
+evolving web graph instead of the abstract signal:
+
+* our own PageRank power iteration and in-degree counters;
+* synthetic web-graph generators (preferential attachment and copying
+  model), both as pure-Python edge builders and as networkx graphs — the
+  standard public-web-graph stand-ins;
+* an evolving, search-influenced link-formation process in the spirit of
+  Cho & Roy's study (new links are created toward pages in proportion to the
+  visits a ranking sends to them), which lets the rank-promotion rankers be
+  evaluated on a graph-backed popularity signal.
+"""
+
+from repro.webgraph.pagerank import pagerank, personalized_pagerank
+from repro.webgraph.indegree import indegree_popularity, normalized_indegree
+from repro.webgraph.generators import (
+    copying_model_graph,
+    preferential_attachment_graph,
+    to_networkx,
+)
+from repro.webgraph.evolution import EvolvingWebGraph, GraphCommunitySimulator
+
+__all__ = [
+    "pagerank",
+    "personalized_pagerank",
+    "indegree_popularity",
+    "normalized_indegree",
+    "preferential_attachment_graph",
+    "copying_model_graph",
+    "to_networkx",
+    "EvolvingWebGraph",
+    "GraphCommunitySimulator",
+]

@@ -1,0 +1,116 @@
+"""Synthetic web-graph generators.
+
+Public web crawls are not shipped with this package, so the standard
+synthetic stand-ins are provided instead: preferential attachment (the
+classic rich-get-richer model that yields power-law in-degree) and the
+copying model (new pages copy a fraction of a prototype page's out-links).
+Both return plain edge lists over integer node ids and can be converted to
+``networkx`` directed graphs for interoperability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def preferential_attachment_graph(
+    n: int,
+    out_links: int = 5,
+    seed_nodes: int = 5,
+    rng: RandomSource = None,
+) -> List[Tuple[int, int]]:
+    """Directed preferential-attachment graph over nodes ``0 .. n-1``.
+
+    Nodes arrive one at a time; each new node links to ``out_links`` existing
+    nodes chosen with probability proportional to (1 + current in-degree),
+    which produces a power-law in-degree distribution like the Web's.
+    """
+    check_positive_int("n", n)
+    check_positive_int("out_links", out_links)
+    check_positive_int("seed_nodes", seed_nodes)
+    if seed_nodes >= n:
+        raise ValueError("seed_nodes must be smaller than n")
+    generator = as_rng(rng)
+
+    edges: List[Tuple[int, int]] = []
+    indegree = np.zeros(n, dtype=float)
+    # Seed clique so early arrivals have someone to link to.
+    for i in range(seed_nodes):
+        for j in range(seed_nodes):
+            if i != j:
+                edges.append((i, j))
+                indegree[j] += 1
+    for node in range(seed_nodes, n):
+        weights = 1.0 + indegree[:node]
+        probabilities = weights / weights.sum()
+        target_count = min(out_links, node)
+        targets = generator.choice(node, size=target_count, replace=False, p=probabilities)
+        for target in np.asarray(targets, dtype=int):
+            edges.append((node, int(target)))
+            indegree[target] += 1
+    return edges
+
+
+def copying_model_graph(
+    n: int,
+    out_links: int = 5,
+    copy_probability: float = 0.5,
+    seed_nodes: int = 5,
+    rng: RandomSource = None,
+) -> List[Tuple[int, int]]:
+    """Directed copying-model graph over nodes ``0 .. n-1``.
+
+    Each new node picks a random prototype; every one of its ``out_links``
+    links copies the corresponding prototype link with ``copy_probability``
+    and otherwise points to a uniformly random earlier node.  The copying
+    model is the classic explanation for the Web's dense bipartite cores and
+    also yields power-law in-degree.
+    """
+    check_positive_int("n", n)
+    check_positive_int("out_links", out_links)
+    check_probability("copy_probability", copy_probability)
+    check_positive_int("seed_nodes", seed_nodes)
+    if seed_nodes >= n:
+        raise ValueError("seed_nodes must be smaller than n")
+    generator = as_rng(rng)
+
+    edges: List[Tuple[int, int]] = []
+    out_neighbors: List[List[int]] = [[] for _ in range(n)]
+    for i in range(seed_nodes):
+        for j in range(seed_nodes):
+            if i != j:
+                edges.append((i, j))
+                out_neighbors[i].append(j)
+    for node in range(seed_nodes, n):
+        prototype = int(generator.integers(0, node))
+        prototype_links = out_neighbors[prototype]
+        for slot in range(min(out_links, node)):
+            if prototype_links and slot < len(prototype_links) and (
+                generator.random() < copy_probability
+            ):
+                target = prototype_links[slot]
+            else:
+                target = int(generator.integers(0, node))
+            if target == node:
+                continue
+            edges.append((node, target))
+            out_neighbors[node].append(target)
+    return edges
+
+
+def to_networkx(edges: List[Tuple[int, int]], n: int):
+    """Convert an edge list over ``0 .. n-1`` into a ``networkx.DiGraph``."""
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    return graph
+
+
+__all__ = ["preferential_attachment_graph", "copying_model_graph", "to_networkx"]

@@ -1,0 +1,30 @@
+"""In-degree based popularity — the simplest link-count popularity signal."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+def indegree_popularity(edges: Iterable[Tuple[int, int]], n: int) -> np.ndarray:
+    """Raw in-link counts per node for a directed edge list."""
+    check_positive_int("n", n)
+    edges = np.asarray(list(edges), dtype=int).reshape(-1, 2)
+    if edges.size and (edges.min() < 0 or edges.max() >= n):
+        raise ValueError("edge endpoints must lie in [0, n)")
+    return np.bincount(edges[:, 1], minlength=n).astype(float)
+
+
+def normalized_indegree(edges: Iterable[Tuple[int, int]], n: int) -> np.ndarray:
+    """In-degree scaled to ``[0, 1]`` by the maximum (all-zero stays all-zero)."""
+    counts = indegree_popularity(edges, n)
+    maximum = counts.max()
+    if maximum <= 0:
+        return counts
+    return counts / maximum
+
+
+__all__ = ["indegree_popularity", "normalized_indegree"]

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Tests use deliberately tiny communities and short horizons so the whole
+suite stays fast; the benchmark harness covers larger scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.community import CommunityConfig, PagePool, PowerLawQualityDistribution
+from repro.simulation import SimulationConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_community():
+    """A very small community for fast simulator tests."""
+    return CommunityConfig(
+        n_pages=200,
+        n_users=40,
+        monitored_fraction=0.25,
+        visits_per_user_per_day=1.0,
+        expected_lifetime_days=50.0,
+    )
+
+
+@pytest.fixture
+def small_community():
+    """A slightly larger community used by integration tests."""
+    return CommunityConfig(
+        n_pages=600,
+        n_users=60,
+        monitored_fraction=0.20,
+        visits_per_user_per_day=1.0,
+        expected_lifetime_days=80.0,
+        quality_distribution=PowerLawQualityDistribution(),
+    )
+
+
+@pytest.fixture
+def tiny_pool(tiny_community, rng):
+    """A page pool for the tiny community."""
+    return PagePool.from_config(tiny_community, rng)
+
+
+@pytest.fixture
+def fast_sim_config():
+    """A short stochastic simulation configuration."""
+    return SimulationConfig(warmup_days=60, measure_days=60, mode="stochastic")

@@ -1,0 +1,106 @@
+"""Tests for the steady-state awareness distribution (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.awareness import (
+    awareness_distribution,
+    expected_awareness,
+    zero_awareness_probability,
+)
+
+
+def constant_visit_rate(value):
+    return lambda popularity: np.full_like(np.asarray(popularity, dtype=float), value)
+
+
+class TestAwarenessDistribution:
+    def test_normalized(self):
+        distribution = awareness_distribution(0.4, constant_visit_rate(0.1),
+                                              death_rate=0.01, m=20)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert distribution.shape == (21,)
+
+    def test_nonnegative(self):
+        distribution = awareness_distribution(0.4, constant_visit_rate(0.5),
+                                              death_rate=0.002, m=50)
+        assert np.all(distribution >= 0.0)
+
+    def test_high_churn_concentrates_at_zero(self):
+        # When pages die much faster than they are visited, almost all pages
+        # have zero awareness.
+        distribution = awareness_distribution(0.4, constant_visit_rate(0.001),
+                                              death_rate=1.0, m=10)
+        assert distribution[0] > 0.99
+
+    def test_high_visit_rate_concentrates_at_full(self):
+        # When visits vastly outpace retirement, pages spend most of their
+        # life fully aware.
+        distribution = awareness_distribution(0.4, constant_visit_rate(10.0),
+                                              death_rate=0.0001, m=10)
+        assert distribution[-1] > 0.9
+
+    def test_closed_form_for_two_levels(self):
+        # With m = 1 there are two states; balance gives
+        # f(0) = lam / (lam + F(0)) and f(1) = f(0) * F(0) / lam.
+        lam, visits = 0.05, 0.2
+        distribution = awareness_distribution(0.4, constant_visit_rate(visits),
+                                              death_rate=lam, m=1)
+        f0 = lam / (lam + visits)
+        f1 = f0 * visits / lam
+        expected = np.array([f0, f1]) / (f0 + f1)
+        assert np.allclose(distribution, expected, rtol=1e-9)
+
+    def test_monotone_in_visit_rate(self):
+        low = awareness_distribution(0.4, constant_visit_rate(0.01), 0.01, 20)
+        high = awareness_distribution(0.4, constant_visit_rate(0.5), 0.01, 20)
+        assert expected_awareness(high) > expected_awareness(low)
+
+    def test_popularity_dependent_visit_rate(self):
+        # A visit function increasing in popularity should produce a bimodal
+        # distribution: hard to start, fast to finish.
+        def visit_rate(popularity):
+            return 0.001 + 5.0 * np.asarray(popularity, dtype=float)
+
+        distribution = awareness_distribution(0.4, visit_rate, death_rate=0.005, m=50)
+        middle = distribution[10:40].sum()
+        ends = distribution[0] + distribution[-5:].sum()
+        assert ends > middle
+
+    def test_scalar_fallback_visit_rate(self):
+        # Visit functions that only accept scalars are still supported.
+        def scalar_only(popularity):
+            if isinstance(popularity, np.ndarray):
+                raise TypeError("scalars only")
+            return 0.1
+
+        distribution = awareness_distribution(0.4, scalar_only, death_rate=0.01, m=5)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(ValueError):
+            awareness_distribution(0.0, constant_visit_rate(0.1), 0.01, 10)
+
+    def test_invalid_death_rate_rejected(self):
+        with pytest.raises(ValueError):
+            awareness_distribution(0.4, constant_visit_rate(0.1), 0.0, 10)
+
+    def test_no_overflow_for_extreme_ratio(self):
+        # F / lambda ratios of ~1e5 across 100 levels overflow naive products.
+        distribution = awareness_distribution(1.0, constant_visit_rate(50.0),
+                                              death_rate=0.0005, m=100)
+        assert np.isfinite(distribution).all()
+        assert distribution.sum() == pytest.approx(1.0)
+
+
+class TestHelpers:
+    def test_expected_awareness_bounds(self):
+        distribution = np.array([0.5, 0.0, 0.5])
+        assert expected_awareness(distribution) == pytest.approx(0.5)
+
+    def test_expected_awareness_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            expected_awareness(np.array([1.0]))
+
+    def test_zero_awareness_probability(self):
+        assert zero_awareness_probability(np.array([0.25, 0.75])) == pytest.approx(0.25)

@@ -1,0 +1,152 @@
+"""Tests for the rank/visit relationships of the analytical model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.awareness import awareness_distribution
+from repro.analysis.rank_visit import (
+    RankToVisitLaw,
+    expected_promoted_visit_rate,
+    popularity_to_rank,
+    selective_rank_shift,
+    uniform_rank_adjustment,
+)
+
+
+class TestRankToVisitLaw:
+    def test_total_visits_normalized(self):
+        law = RankToVisitLaw(n_pages=500, total_visits=100.0)
+        assert law.visits_by_rank().sum() == pytest.approx(100.0)
+
+    def test_power_law_ratio(self):
+        law = RankToVisitLaw(n_pages=100, total_visits=10.0)
+        assert law(1.0) / law(4.0) == pytest.approx(8.0)
+
+    def test_rank_clipped_to_bounds(self):
+        law = RankToVisitLaw(n_pages=10, total_visits=10.0)
+        assert law(0.5) == pytest.approx(law(1.0))
+        assert law(100.0) == pytest.approx(law(10.0))
+
+    def test_custom_exponent(self):
+        law = RankToVisitLaw(n_pages=100, total_visits=10.0, exponent=1.0)
+        assert law(1.0) / law(2.0) == pytest.approx(2.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RankToVisitLaw(n_pages=0, total_visits=10.0)
+        with pytest.raises(ValueError):
+            RankToVisitLaw(n_pages=10, total_visits=0.0)
+
+
+def build_awareness(quality_values, visit_rate, death_rate=0.01, m=10):
+    return {
+        float(q): awareness_distribution(float(q), visit_rate, death_rate, m)
+        for q in quality_values
+    }
+
+
+class TestPopularityToRank:
+    def test_rank_decreases_with_popularity(self):
+        quality_values = np.array([0.1, 0.4])
+        counts = np.array([50.0, 50.0])
+        awareness = build_awareness(quality_values, lambda x: np.full_like(np.asarray(x, float), 0.2))
+        x = np.array([0.0, 0.05, 0.2, 0.39])
+        ranks = popularity_to_rank(x, quality_values, counts, awareness)
+        assert np.all(np.diff(ranks) <= 0)
+
+    def test_rank_at_least_one(self):
+        quality_values = np.array([0.4])
+        counts = np.array([10.0])
+        awareness = build_awareness(quality_values, lambda x: np.full_like(np.asarray(x, float), 0.2))
+        ranks = popularity_to_rank(np.array([0.5]), quality_values, counts, awareness)
+        assert ranks[0] == pytest.approx(1.0)
+
+    def test_rank_bounded_by_community_size(self):
+        quality_values = np.array([0.2, 0.4])
+        counts = np.array([100.0, 100.0])
+        awareness = build_awareness(quality_values, lambda x: np.full_like(np.asarray(x, float), 5.0),
+                                    death_rate=0.0001)
+        ranks = popularity_to_rank(np.array([0.0]), quality_values, counts, awareness)
+        assert ranks[0] <= 201.0
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            popularity_to_rank(np.array([0.1]), np.array([0.4]), np.array([1.0, 2.0]), {})
+
+
+class TestSelectiveRankShift:
+    def test_ranks_above_k_unchanged(self):
+        base = np.array([1.0, 2.0, 5.0])
+        shifted = selective_rank_shift(base, k=3, r=0.5, expected_zero_awareness=100.0)
+        assert shifted[0] == pytest.approx(1.0)
+        assert shifted[1] == pytest.approx(2.0)
+        assert shifted[2] > 5.0
+
+    def test_shift_capped_by_pool_size(self):
+        base = np.array([1000.0])
+        shifted = selective_rank_shift(base, k=1, r=0.5, expected_zero_awareness=10.0)
+        assert shifted[0] == pytest.approx(1010.0)
+
+    def test_shift_formula_matches_paper(self):
+        base = np.array([50.0])
+        shifted = selective_rank_shift(base, k=1, r=0.2, expected_zero_awareness=1e9)
+        expected = 50.0 + 0.2 * (50.0 - 1 + 1) / 0.8
+        assert shifted[0] == pytest.approx(expected)
+
+    def test_r_one_rejected(self):
+        with pytest.raises(ValueError):
+            selective_rank_shift(np.array([10.0]), k=1, r=1.0, expected_zero_awareness=5.0)
+
+
+class TestExpectedPromotedVisitRate:
+    def test_zero_pool_gives_zero(self):
+        law = RankToVisitLaw(n_pages=100, total_visits=10.0)
+        assert expected_promoted_visit_rate(law, 0.0, k=1, r=0.1) == 0.0
+
+    def test_r_zero_gives_zero(self):
+        law = RankToVisitLaw(n_pages=100, total_visits=10.0)
+        assert expected_promoted_visit_rate(law, 10.0, k=1, r=0.0) == 0.0
+
+    def test_single_promoted_page_r_one_gets_top_open_slot(self):
+        law = RankToVisitLaw(n_pages=100, total_visits=10.0)
+        rate = expected_promoted_visit_rate(law, 1.0, k=3, r=1.0)
+        assert rate == pytest.approx(float(law(3.0)))
+
+    def test_rate_decreases_with_pool_size(self):
+        law = RankToVisitLaw(n_pages=1000, total_visits=100.0)
+        small_pool = expected_promoted_visit_rate(law, 10.0, k=1, r=0.1)
+        large_pool = expected_promoted_visit_rate(law, 500.0, k=1, r=0.1)
+        assert small_pool > large_pool
+
+    def test_rate_increases_with_r(self):
+        law = RankToVisitLaw(n_pages=1000, total_visits=100.0)
+        low = expected_promoted_visit_rate(law, 50.0, k=1, r=0.05)
+        high = expected_promoted_visit_rate(law, 50.0, k=1, r=0.5)
+        assert high > low
+
+    def test_total_mass_conserved(self):
+        # Promoted pages cannot receive more than the total visit budget.
+        law = RankToVisitLaw(n_pages=200, total_visits=50.0)
+        pool = 80.0
+        rate = expected_promoted_visit_rate(law, pool, k=1, r=0.3)
+        assert rate * pool <= 50.0 + 1e-9
+
+
+class TestUniformRankAdjustment:
+    def test_returns_visits_not_ranks(self):
+        law = RankToVisitLaw(n_pages=100, total_visits=10.0)
+        visits = uniform_rank_adjustment(np.array([1.0, 50.0]), law, k=1, r=0.1)
+        assert visits[0] <= 10.0
+        assert visits[0] > visits[1]
+
+    def test_r_zero_equals_plain_f2(self):
+        law = RankToVisitLaw(n_pages=100, total_visits=10.0)
+        base = np.array([1.0, 10.0, 50.0])
+        assert np.allclose(uniform_rank_adjustment(base, law, k=1, r=0.0), law(base))
+
+    def test_promotion_lifts_deep_ranks(self):
+        law = RankToVisitLaw(n_pages=1000, total_visits=100.0)
+        deep = np.array([900.0])
+        plain = float(law(deep)[0])
+        promoted = float(uniform_rank_adjustment(deep, law, k=1, r=0.2)[0])
+        assert promoted > plain

@@ -1,0 +1,152 @@
+"""Tests for the fixed-point solver and the solved analytical model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.solver import SolvedModel, SteadyStateSolver, solve_model
+from repro.analysis.spec import RankingSpec
+from repro.community import CommunityConfig
+from repro.core.policy import RankPromotionPolicy
+
+SMALL_COMMUNITY = CommunityConfig(
+    n_pages=800,
+    n_users=80,
+    monitored_fraction=0.25,
+    visits_per_user_per_day=1.0,
+    expected_lifetime_days=150.0,
+)
+
+
+@pytest.fixture(scope="module")
+def nonrandomized_model():
+    return SteadyStateSolver(
+        SMALL_COMMUNITY, RankingSpec.nonrandomized(), quality_groups=32, seed=0
+    ).solve()
+
+
+@pytest.fixture(scope="module")
+def selective_model():
+    return SteadyStateSolver(
+        SMALL_COMMUNITY, RankingSpec.selective(r=0.2, k=1), quality_groups=32, seed=0
+    ).solve()
+
+
+class TestRankingSpec:
+    def test_from_policy_deterministic(self):
+        spec = RankingSpec.from_policy(RankPromotionPolicy("none", 1, 0.0))
+        assert spec.kind == "nonrandomized"
+        assert not spec.is_randomized
+
+    def test_from_policy_selective(self):
+        spec = RankingSpec.from_policy(RankPromotionPolicy("selective", 2, 0.15))
+        assert spec.kind == "selective" and spec.k == 2 and spec.r == pytest.approx(0.15)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RankingSpec(kind="magic")
+
+    def test_r_one_rejected_for_randomized(self):
+        with pytest.raises(ValueError):
+            RankingSpec(kind="selective", r=1.0)
+
+    def test_describe(self):
+        assert "analysis" in RankingSpec.selective(0.1).describe()
+
+
+class TestSolver:
+    def test_model_structure(self, nonrandomized_model):
+        assert isinstance(nonrandomized_model, SolvedModel)
+        assert nonrandomized_model.iterations >= 1
+        assert nonrandomized_model.quality_values.size == nonrandomized_model.quality_counts.size
+        assert nonrandomized_model.quality_counts.sum() == pytest.approx(SMALL_COMMUNITY.n_pages)
+
+    def test_visit_rate_positive_and_bounded(self, nonrandomized_model):
+        grid = np.linspace(0.0, 0.4, 20)
+        visits = np.asarray(nonrandomized_model.expected_visit_rate(grid), dtype=float)
+        assert np.all(visits >= 0.0)
+        assert np.all(visits <= SMALL_COMMUNITY.monitored_visit_rate + 1e-9)
+
+    def test_visit_rate_increases_with_popularity(self, nonrandomized_model):
+        low = float(nonrandomized_model.expected_visit_rate(0.001))
+        high = float(nonrandomized_model.expected_visit_rate(0.4))
+        assert high > low
+
+    def test_qpc_in_unit_interval(self, nonrandomized_model, selective_model):
+        for model in (nonrandomized_model, selective_model):
+            assert 0.0 < model.qpc_absolute() <= 0.4
+            assert 0.0 < model.qpc_normalized() <= 1.05
+
+    def test_selective_promotion_improves_qpc(self, nonrandomized_model, selective_model):
+        assert selective_model.qpc_normalized() > nonrandomized_model.qpc_normalized()
+
+    def test_selective_promotion_reduces_tbp(self, nonrandomized_model, selective_model):
+        assert selective_model.tbp(0.4) < nonrandomized_model.tbp(0.4)
+
+    def test_selective_raises_zero_popularity_visit_rate(
+        self, nonrandomized_model, selective_model
+    ):
+        assert float(selective_model.expected_visit_rate(0.0)) > float(
+            nonrandomized_model.expected_visit_rate(0.0)
+        )
+
+    def test_awareness_distribution_normalized(self, nonrandomized_model):
+        distribution = nonrandomized_model.awareness_distribution(0.4)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert distribution.size == SMALL_COMMUNITY.n_monitored_users + 1
+
+    def test_selective_shifts_awareness_mass_upward(
+        self, nonrandomized_model, selective_model
+    ):
+        m = SMALL_COMMUNITY.n_monitored_users
+        levels = np.arange(m + 1) / m
+        mean_none = float(np.dot(nonrandomized_model.awareness_distribution(0.4), levels))
+        mean_selective = float(np.dot(selective_model.awareness_distribution(0.4), levels))
+        assert mean_selective > mean_none
+
+    def test_popularity_trajectory_monotone(self, selective_model):
+        trajectory = selective_model.popularity_trajectory(0.4, 200)
+        assert trajectory.shape == (200,)
+        assert np.all(np.diff(trajectory) >= -1e-12)
+        assert trajectory[-1] <= 0.4 + 1e-9
+
+    def test_visit_trajectory_shape(self, selective_model):
+        visits = selective_model.visit_trajectory(0.4, 50)
+        assert visits.shape == (50,)
+        assert np.all(visits >= 0.0)
+
+    def test_tbp_higher_quality_faster(self, selective_model):
+        assert selective_model.tbp(0.4) <= selective_model.tbp(0.05)
+
+    def test_tbp_invalid_threshold(self, selective_model):
+        with pytest.raises(ValueError):
+            selective_model.tbp(0.4, threshold=0.0)
+
+    def test_trajectory_invalid_horizon(self, selective_model):
+        with pytest.raises(ValueError):
+            selective_model.popularity_trajectory(0.4, 0)
+
+    def test_summary_mentions_qpc(self, selective_model):
+        assert "QPC" in selective_model.summary()
+
+
+class TestSolveModelWrapper:
+    def test_accepts_policy(self):
+        model = solve_model(SMALL_COMMUNITY, RankPromotionPolicy("selective", 1, 0.1),
+                            quality_groups=24, max_iterations=30)
+        assert model.spec.kind == "selective"
+
+    def test_accepts_spec(self):
+        model = solve_model(SMALL_COMMUNITY, RankingSpec.uniform(r=0.1),
+                            quality_groups=24, max_iterations=30)
+        assert model.spec.kind == "uniform"
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            solve_model(SMALL_COMMUNITY, "selective")
+
+    def test_uniform_promotion_also_improves_qpc(self):
+        none = solve_model(SMALL_COMMUNITY, RankingSpec.nonrandomized(),
+                           quality_groups=24, max_iterations=40, seed=0)
+        uniform = solve_model(SMALL_COMMUNITY, RankingSpec.uniform(r=0.2),
+                              quality_groups=24, max_iterations=40, seed=0)
+        assert uniform.qpc_normalized() >= none.qpc_normalized()

@@ -1,0 +1,90 @@
+"""Tests for the related-work baseline rankers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AgeWeightedRanker, DerivativeForecastRanker
+from repro.core.rankers_context import RankingContext
+
+
+def make_context(popularity, ages=None, history=None):
+    popularity = np.asarray(popularity, dtype=float)
+    return RankingContext(
+        popularity=popularity,
+        awareness=popularity.copy(),
+        ages=None if ages is None else np.asarray(ages, dtype=float),
+        popularity_history=history,
+    )
+
+
+class TestAgeWeightedRanker:
+    def test_young_page_boosted_over_slightly_more_popular_old_page(self):
+        context = make_context([0.30, 0.25], ages=[1000.0, 5.0])
+        ranking = AgeWeightedRanker(tau_days=90.0).rank(context, rng=0)
+        assert ranking[0] == 1
+
+    def test_large_popularity_gap_not_overturned(self):
+        context = make_context([0.9, 0.001], ages=[1000.0, 5.0])
+        ranking = AgeWeightedRanker(tau_days=90.0).rank(context, rng=0)
+        assert ranking[0] == 0
+
+    def test_old_pages_rank_as_plain_popularity(self):
+        popularity = np.array([0.2, 0.8, 0.5])
+        context = make_context(popularity, ages=[5000.0, 5000.0, 5000.0])
+        ranking = AgeWeightedRanker().rank(context, rng=0)
+        assert ranking.tolist() == [1, 2, 0]
+
+    def test_requires_ages(self):
+        with pytest.raises(ValueError):
+            AgeWeightedRanker().rank(make_context([0.1, 0.2]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AgeWeightedRanker(tau_days=0.0)
+
+    def test_describe(self):
+        assert "Age-weighted" in AgeWeightedRanker().describe()
+
+
+class TestDerivativeForecastRanker:
+    def test_rising_page_outranks_static_page(self):
+        history = np.array([
+            [0.30, 0.05],
+            [0.30, 0.15],
+            [0.30, 0.25],
+        ])
+        context = make_context([0.30, 0.25], history=history)
+        ranking = DerivativeForecastRanker(horizon_days=10.0).rank(context, rng=0)
+        assert ranking[0] == 1
+
+    def test_without_history_falls_back_to_popularity(self):
+        context = make_context([0.1, 0.9, 0.5])
+        ranking = DerivativeForecastRanker().rank(context, rng=0)
+        assert ranking[0] == 1
+
+    def test_single_snapshot_falls_back(self):
+        context = make_context([0.2, 0.4], history=np.array([[0.2, 0.4]]))
+        ranking = DerivativeForecastRanker().rank(context, rng=0)
+        assert ranking[0] == 1
+
+    def test_forecast_never_negative(self):
+        history = np.array([
+            [0.5, 0.2],
+            [0.3, 0.2],
+            [0.1, 0.2],
+        ])
+        context = make_context([0.1, 0.2], history=history)
+        ranking = DerivativeForecastRanker(horizon_days=1000.0).rank(context, rng=0)
+        # Falling page is clipped at zero, static page wins.
+        assert ranking[0] == 1
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        history = rng.random((4, 50))
+        context = make_context(rng.random(50), history=history)
+        ranking = DerivativeForecastRanker().rank(context, rng=0)
+        assert sorted(ranking.tolist()) == list(range(50))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DerivativeForecastRanker(horizon_days=0.0)

@@ -1,0 +1,87 @@
+"""Tests for repro.community.config."""
+
+import pytest
+
+from repro.community.config import DAYS_PER_YEAR, DEFAULT_COMMUNITY, CommunityConfig
+from repro.community.quality import PointMassQualityDistribution
+
+
+class TestDefaults:
+    def test_paper_default_sizes(self):
+        assert DEFAULT_COMMUNITY.n_pages == 10_000
+        assert DEFAULT_COMMUNITY.n_users == 1_000
+        assert DEFAULT_COMMUNITY.n_monitored_users == 100
+
+    def test_paper_default_visit_rates(self):
+        assert DEFAULT_COMMUNITY.total_visit_rate == pytest.approx(1000.0)
+        assert DEFAULT_COMMUNITY.monitored_visit_rate == pytest.approx(100.0)
+
+    def test_paper_default_lifetime(self):
+        assert DEFAULT_COMMUNITY.expected_lifetime_years == pytest.approx(1.5)
+        assert DEFAULT_COMMUNITY.death_rate == pytest.approx(1.0 / (1.5 * DAYS_PER_YEAR))
+
+
+class TestDerivedQuantities:
+    def test_monitored_users_rounding(self):
+        config = CommunityConfig(n_users=15, monitored_fraction=0.1)
+        assert config.n_monitored_users == 2
+
+    def test_monitored_visit_rate_scales_with_m(self):
+        config = CommunityConfig(n_users=100, monitored_fraction=0.5,
+                                 visits_per_user_per_day=2.0)
+        assert config.monitored_visit_rate == pytest.approx(100.0)
+
+    def test_describe_mentions_key_numbers(self):
+        text = DEFAULT_COMMUNITY.describe()
+        assert "n=10000" in text and "m=100" in text
+
+
+class TestValidation:
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(n_pages=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(monitored_fraction=0.0)
+
+    def test_rejects_negative_lifetime(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(expected_lifetime_days=-1)
+
+    def test_rejects_fraction_with_no_monitored_users(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(n_users=1_000, monitored_fraction=1e-9)
+
+
+class TestTransforms:
+    def test_with_pages(self):
+        assert DEFAULT_COMMUNITY.with_pages(123).n_pages == 123
+
+    def test_with_users(self):
+        assert DEFAULT_COMMUNITY.with_users(77).n_users == 77
+
+    def test_with_lifetime_years(self):
+        assert DEFAULT_COMMUNITY.with_lifetime_years(2.0).expected_lifetime_days == pytest.approx(730.0)
+
+    def test_with_total_visit_rate(self):
+        config = DEFAULT_COMMUNITY.with_total_visit_rate(5000.0)
+        assert config.total_visit_rate == pytest.approx(5000.0)
+
+    def test_with_quality(self):
+        config = DEFAULT_COMMUNITY.with_quality(PointMassQualityDistribution(0.2))
+        assert config.quality_distribution.max_quality() == pytest.approx(0.2)
+
+    def test_scaled_preserves_user_ratio(self):
+        scaled = DEFAULT_COMMUNITY.scaled(50_000)
+        assert scaled.n_pages == 50_000
+        assert scaled.n_users == 5_000
+        assert scaled.monitored_fraction == DEFAULT_COMMUNITY.monitored_fraction
+
+    def test_original_unchanged_by_transforms(self):
+        DEFAULT_COMMUNITY.with_pages(5)
+        assert DEFAULT_COMMUNITY.n_pages == 10_000
+
+    def test_sample_qualities_size(self):
+        config = CommunityConfig(n_pages=50, n_users=10)
+        assert config.sample_qualities(rng=0).shape == (50,)

@@ -1,0 +1,158 @@
+"""Tests for repro.community.page and repro.community.lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.community.config import CommunityConfig
+from repro.community.lifecycle import FixedLifetimeLifecycle, PoissonLifecycle
+from repro.community.page import Page, PagePool
+
+
+class TestPage:
+    def test_awareness_and_popularity(self):
+        page = Page(page_id=1, quality=0.4, aware_monitored_users=50,
+                    monitored_population=100)
+        assert page.awareness == pytest.approx(0.5)
+        assert page.popularity == pytest.approx(0.2)
+
+    def test_record_visit_new_user(self):
+        page = Page(page_id=1, quality=0.4, monitored_population=10)
+        page.record_monitored_visit(user_is_new=True)
+        assert page.aware_monitored_users == 1
+
+    def test_record_visit_known_user_no_change(self):
+        page = Page(page_id=1, quality=0.4, aware_monitored_users=3,
+                    monitored_population=10)
+        page.record_monitored_visit(user_is_new=False)
+        assert page.aware_monitored_users == 3
+
+    def test_awareness_capped_at_population(self):
+        page = Page(page_id=1, quality=0.4, aware_monitored_users=10,
+                    monitored_population=10)
+        page.record_monitored_visit(user_is_new=True)
+        assert page.aware_monitored_users == 10
+
+    def test_age(self):
+        page = Page(page_id=1, quality=0.4, created_at=10.0)
+        assert page.age(25.0) == pytest.approx(15.0)
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(ValueError):
+            Page(page_id=1, quality=1.5)
+
+    def test_invalid_awareness_rejected(self):
+        with pytest.raises(ValueError):
+            Page(page_id=1, quality=0.5, aware_monitored_users=20,
+                 monitored_population=10)
+
+
+class TestPagePool:
+    def test_initial_state(self):
+        pool = PagePool(np.array([0.1, 0.2, 0.3]), monitored_population=10)
+        assert pool.n == 3
+        assert np.allclose(pool.awareness, 0.0)
+        assert np.allclose(pool.popularity, 0.0)
+        assert pool.zero_awareness_mask().all()
+
+    def test_add_awareness_updates_popularity(self):
+        pool = PagePool(np.array([0.5, 0.5]), monitored_population=10)
+        pool.add_awareness(0, 5)
+        assert pool.awareness[0] == pytest.approx(0.5)
+        assert pool.popularity[0] == pytest.approx(0.25)
+        assert pool.awareness[1] == 0.0
+
+    def test_add_awareness_clipped(self):
+        pool = PagePool(np.array([0.5]), monitored_population=10)
+        pool.add_awareness(0, 50)
+        assert pool.awareness[0] == pytest.approx(1.0)
+
+    def test_add_awareness_bulk(self):
+        pool = PagePool(np.array([0.5, 0.5, 0.5]), monitored_population=4)
+        pool.add_awareness_bulk(np.array([1.0, 2.0, 10.0]))
+        assert np.allclose(pool.aware_count, [1.0, 2.0, 4.0])
+
+    def test_replace_pages_resets_state(self):
+        pool = PagePool(np.array([0.5, 0.6]), monitored_population=10)
+        pool.add_awareness(1, 5)
+        old_ids = pool.page_ids.copy()
+        replaced = pool.replace_pages(np.array([1]), now=7.0)
+        assert pool.aware_count[1] == 0.0
+        assert pool.created_at[1] == 7.0
+        assert pool.quality[1] == pytest.approx(0.6)
+        assert pool.page_ids[1] != old_ids[1]
+        assert replaced.tolist() == [1]
+
+    def test_replace_no_pages_is_noop(self):
+        pool = PagePool(np.array([0.5]), monitored_population=10)
+        assert pool.replace_pages(np.array([], dtype=int), now=1.0).size == 0
+
+    def test_ages(self):
+        pool = PagePool(np.array([0.5]), monitored_population=10, created_at=2.0)
+        assert pool.ages(5.0)[0] == pytest.approx(3.0)
+
+    def test_as_pages_roundtrip(self):
+        pool = PagePool(np.array([0.2, 0.3]), monitored_population=10)
+        pool.add_awareness(0, 4)
+        pages = pool.as_pages()
+        assert len(pages) == 2
+        assert pages[0].aware_monitored_users == 4
+        assert pages[1].quality == pytest.approx(0.3)
+
+    def test_from_config(self):
+        config = CommunityConfig(n_pages=20, n_users=10, monitored_fraction=0.5)
+        pool = PagePool.from_config(config, rng=0)
+        assert pool.n == 20
+        assert pool.monitored_population == config.n_monitored_users
+
+    def test_rejects_invalid_quality(self):
+        with pytest.raises(ValueError):
+            PagePool(np.array([1.5]), monitored_population=10)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            PagePool(np.array([]), monitored_population=10)
+
+
+class TestPoissonLifecycle:
+    def test_expected_lifetime_inverse_of_rate(self):
+        assert PoissonLifecycle(0.01).expected_lifetime() == pytest.approx(100.0)
+
+    def test_from_lifetime(self):
+        assert PoissonLifecycle.from_lifetime(50.0).rate_per_day == pytest.approx(0.02)
+
+    def test_step_replaces_roughly_expected_fraction(self):
+        pool = PagePool(np.full(20_000, 0.3), monitored_population=10)
+        lifecycle = PoissonLifecycle(rate_per_day=0.1)
+        replaced = lifecycle.step(pool, now=1.0, rng=0)
+        fraction = replaced.size / pool.n
+        assert 0.07 < fraction < 0.12
+
+    def test_step_resets_awareness_of_replaced(self):
+        pool = PagePool(np.full(100, 0.3), monitored_population=10)
+        pool.add_awareness_bulk(np.full(100, 5.0))
+        lifecycle = PoissonLifecycle(rate_per_day=0.5)
+        replaced = lifecycle.step(pool, now=3.0, rng=1)
+        assert replaced.size > 0
+        assert np.all(pool.aware_count[replaced] == 0.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonLifecycle(0.0)
+
+
+class TestFixedLifetimeLifecycle:
+    def test_pages_live_exactly_lifetime(self):
+        pool = PagePool(np.full(5, 0.3), monitored_population=10)
+        lifecycle = FixedLifetimeLifecycle(lifetime_days=10.0)
+        assert lifecycle.step(pool, now=9.0).size == 0
+        assert lifecycle.step(pool, now=10.0).size == 5
+
+    def test_expected_lifetime(self):
+        assert FixedLifetimeLifecycle(30.0).expected_lifetime() == pytest.approx(30.0)
+
+    def test_staggered_creation_times(self):
+        pool = PagePool(np.full(4, 0.3), monitored_population=10)
+        pool.created_at = np.array([-9.0, -5.0, -1.0, 0.0])
+        lifecycle = FixedLifetimeLifecycle(lifetime_days=10.0)
+        replaced = lifecycle.step(pool, now=1.0)
+        assert replaced.tolist() == [0]

@@ -1,0 +1,100 @@
+"""Tests for repro.community.quality."""
+
+import numpy as np
+import pytest
+
+from repro.community.quality import (
+    LogNormalQualityDistribution,
+    ParetoQualityDistribution,
+    PointMassQualityDistribution,
+    PowerLawQualityDistribution,
+    QualityDistribution,
+    UniformQualityDistribution,
+    default_web_quality,
+)
+
+ALL_DISTRIBUTIONS = [
+    PowerLawQualityDistribution(),
+    ParetoQualityDistribution(),
+    UniformQualityDistribution(),
+    LogNormalQualityDistribution(),
+    PointMassQualityDistribution(),
+]
+
+
+@pytest.mark.parametrize("distribution", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__)
+class TestCommonContract:
+    def test_returns_requested_count(self, distribution):
+        assert distribution.sample(100, rng=0).shape == (100,)
+
+    def test_values_in_unit_interval(self, distribution):
+        values = distribution.sample(500, rng=0)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+
+    def test_values_bounded_by_max_quality(self, distribution):
+        values = distribution.sample(500, rng=0)
+        assert values.max() <= distribution.max_quality() + 1e-12
+
+    def test_deterministic_given_seed(self, distribution):
+        assert np.allclose(distribution.sample(50, rng=3), distribution.sample(50, rng=3))
+
+    def test_describe_is_nonempty(self, distribution):
+        assert distribution.describe()
+
+    def test_rejects_zero_count(self, distribution):
+        with pytest.raises(ValueError):
+            distribution.sample(0)
+
+
+class TestPowerLaw:
+    def test_top_value_is_q_max(self):
+        values = PowerLawQualityDistribution(shuffle=False).sample(100, rng=0)
+        assert values[0] == pytest.approx(0.4)
+
+    def test_unshuffled_is_decreasing(self):
+        values = PowerLawQualityDistribution(shuffle=False).sample(100, rng=0)
+        assert np.all(np.diff(values) <= 0)
+
+    def test_clipped_at_q_min(self):
+        values = PowerLawQualityDistribution(q_min=0.01, shuffle=False).sample(1000, rng=0)
+        assert values.min() == pytest.approx(0.01)
+
+    def test_exponent_controls_decay(self):
+        steep = PowerLawQualityDistribution(exponent=2.0, shuffle=False).sample(50, rng=0)
+        shallow = PowerLawQualityDistribution(exponent=0.5, shuffle=False).sample(50, rng=0)
+        assert steep[10] < shallow[10]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PowerLawQualityDistribution(q_min=0.5, q_max=0.4)
+
+    def test_shuffle_preserves_multiset(self):
+        shuffled = PowerLawQualityDistribution(shuffle=True).sample(64, rng=1)
+        ordered = PowerLawQualityDistribution(shuffle=False).sample(64, rng=1)
+        assert np.allclose(np.sort(shuffled), np.sort(ordered))
+
+
+class TestPointMass:
+    def test_all_equal(self):
+        values = PointMassQualityDistribution(0.3).sample(10, rng=0)
+        assert np.allclose(values, 0.3)
+
+
+class TestUniform:
+    def test_bounds_respected(self):
+        values = UniformQualityDistribution(low=0.1, high=0.2).sample(1000, rng=0)
+        assert values.min() >= 0.1 and values.max() <= 0.2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformQualityDistribution(low=0.3, high=0.2)
+
+
+class TestDefaultWebQuality:
+    def test_shape_and_head(self):
+        values = default_web_quality(200, rng=0)
+        assert values.shape == (200,)
+        assert values.max() == pytest.approx(0.4)
+
+    def test_is_quality_distribution_instance(self):
+        assert isinstance(PowerLawQualityDistribution(), QualityDistribution)

@@ -1,0 +1,114 @@
+"""Tests for the randomized merge procedure (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge import merge_positions, randomized_merge
+
+
+class TestMergePositions:
+    def test_counts_match(self):
+        slots = merge_positions(100, 25, k=1, r=0.3, rng=0)
+        assert slots.sum() == 25
+        assert slots.size == 100
+
+    def test_protected_prefix_never_promoted(self):
+        for seed in range(20):
+            slots = merge_positions(50, 20, k=10, r=0.9, rng=seed)
+            assert not slots[:9].any()
+
+    def test_zero_promoted(self):
+        assert merge_positions(10, 0, k=1, r=0.5, rng=0).sum() == 0
+
+    def test_all_promoted(self):
+        slots = merge_positions(10, 10, k=3, r=0.5, rng=0)
+        assert slots.sum() == 10
+
+    def test_r_zero_pushes_promoted_to_bottom(self):
+        slots = merge_positions(20, 5, k=1, r=0.0, rng=0)
+        assert slots[:15].sum() == 0
+        assert slots[15:].all()
+
+    def test_r_one_places_promoted_right_after_prefix(self):
+        slots = merge_positions(20, 5, k=4, r=1.0, rng=0)
+        assert not slots[:3].any()
+        assert slots[3:8].all()
+        assert not slots[8:].any()
+
+    def test_expected_density_near_r(self):
+        # With a large pool, the fraction of early slots drawn from the
+        # promotion list should be close to r.
+        slots = merge_positions(20_000, 10_000, k=1, r=0.25, rng=0)
+        early = slots[:5_000]
+        assert 0.22 < early.mean() < 0.28
+
+    def test_k_larger_than_list(self):
+        slots = merge_positions(5, 2, k=50, r=0.9, rng=0)
+        assert slots.sum() == 2
+        assert slots[3:].all()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            merge_positions(5, 6, k=1, r=0.5)
+        with pytest.raises(ValueError):
+            merge_positions(5, 2, k=0, r=0.5)
+        with pytest.raises(ValueError):
+            merge_positions(5, 2, k=1, r=1.5)
+
+
+class TestRandomizedMerge:
+    def test_result_is_permutation(self):
+        deterministic = np.arange(0, 80)
+        promoted = np.arange(80, 100)
+        merged = randomized_merge(deterministic, promoted, k=2, r=0.3, rng=0)
+        assert sorted(merged.tolist()) == list(range(100))
+
+    def test_deterministic_order_preserved(self):
+        deterministic = np.arange(0, 90)
+        promoted = np.arange(90, 100)
+        merged = randomized_merge(deterministic, promoted, k=1, r=0.4, rng=1)
+        deterministic_positions = [x for x in merged if x < 90]
+        assert deterministic_positions == sorted(deterministic_positions)
+
+    def test_top_k_minus_one_protected(self):
+        deterministic = np.arange(0, 90)
+        promoted = np.arange(90, 100)
+        for seed in range(10):
+            merged = randomized_merge(deterministic, promoted, k=5, r=0.9, rng=seed)
+            assert merged[:4].tolist() == [0, 1, 2, 3]
+
+    def test_promoted_shuffled(self):
+        deterministic = np.arange(0, 10)
+        promoted = np.arange(10, 60)
+        merged = randomized_merge(deterministic, promoted, k=1, r=1.0, rng=3)
+        promoted_order = [x for x in merged if x >= 10]
+        assert promoted_order != sorted(promoted_order)
+
+    def test_no_shuffle_option(self):
+        deterministic = np.arange(0, 5)
+        promoted = np.arange(5, 10)
+        merged = randomized_merge(deterministic, promoted, k=1, r=1.0, rng=3,
+                                  shuffle_promoted=False)
+        promoted_order = [x for x in merged if x >= 5]
+        assert promoted_order == sorted(promoted_order)
+
+    def test_overlapping_lists_rejected(self):
+        with pytest.raises(ValueError):
+            randomized_merge(np.array([1, 2]), np.array([2, 3]), k=1, r=0.5)
+
+    def test_empty_promotion_pool(self):
+        deterministic = np.arange(10)
+        merged = randomized_merge(deterministic, np.array([], dtype=int), k=1, r=0.5, rng=0)
+        assert merged.tolist() == list(range(10))
+
+    def test_empty_deterministic_list(self):
+        promoted = np.arange(10)
+        merged = randomized_merge(np.array([], dtype=int), promoted, k=1, r=0.5, rng=0)
+        assert sorted(merged.tolist()) == list(range(10))
+
+    def test_reproducible_with_seed(self):
+        deterministic = np.arange(0, 50)
+        promoted = np.arange(50, 70)
+        a = randomized_merge(deterministic, promoted, k=1, r=0.3, rng=42)
+        b = randomized_merge(deterministic, promoted, k=1, r=0.3, rng=42)
+        assert np.array_equal(a, b)

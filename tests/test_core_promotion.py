@@ -1,0 +1,132 @@
+"""Tests for repro.core.promotion and RankingContext."""
+
+import numpy as np
+import pytest
+
+from repro.core.promotion import (
+    AgeThresholdPromotionRule,
+    NoPromotionRule,
+    PopularityThresholdPromotionRule,
+    SelectivePromotionRule,
+    UniformPromotionRule,
+)
+from repro.core.rankers_context import RankingContext
+
+
+def make_context(awareness, quality=None, ages=None, m=10):
+    awareness = np.asarray(awareness, dtype=float)
+    quality = np.full_like(awareness, 0.5) if quality is None else np.asarray(quality)
+    return RankingContext(
+        popularity=awareness * quality,
+        awareness=awareness,
+        quality=quality,
+        ages=ages,
+        monitored_population=m,
+    )
+
+
+class TestRankingContext:
+    def test_n(self):
+        assert make_context([0.0, 0.1, 0.2]).n == 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RankingContext(popularity=np.zeros(3), awareness=np.zeros(2))
+
+    def test_quality_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RankingContext(popularity=np.zeros(3), awareness=np.zeros(3),
+                           quality=np.zeros(4))
+
+    def test_from_pool(self, tiny_pool):
+        context = RankingContext.from_pool(tiny_pool, now=5.0)
+        assert context.n == tiny_pool.n
+        assert context.monitored_population == tiny_pool.monitored_population
+        assert np.allclose(context.ages, 5.0)
+
+
+class TestNoPromotionRule:
+    def test_selects_nothing(self):
+        mask = NoPromotionRule().select(make_context([0.0, 0.5, 1.0]))
+        assert not mask.any()
+
+
+class TestUniformPromotionRule:
+    def test_probability_zero_selects_nothing(self):
+        mask = UniformPromotionRule(0.0).select(make_context(np.zeros(100)), rng=0)
+        assert not mask.any()
+
+    def test_probability_one_selects_all(self):
+        mask = UniformPromotionRule(1.0).select(make_context(np.zeros(100)), rng=0)
+        assert mask.all()
+
+    def test_expected_fraction(self):
+        mask = UniformPromotionRule(0.3).select(make_context(np.zeros(20_000)), rng=0)
+        assert 0.27 < mask.mean() < 0.33
+
+    def test_ignores_awareness(self):
+        context = make_context(np.linspace(0, 1, 1000))
+        mask = UniformPromotionRule(0.5).select(context, rng=0)
+        # Promoted pages should appear across the awareness range.
+        assert mask[:500].any() and mask[500:].any()
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            UniformPromotionRule(1.5)
+
+
+class TestSelectivePromotionRule:
+    def test_selects_only_zero_awareness(self):
+        context = make_context([0.0, 0.1, 0.0, 0.9])
+        mask = SelectivePromotionRule().select(context)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_fluid_fractional_awareness_below_one_user(self):
+        # With m=10 monitored users, awareness 0.05 means half an expected
+        # user — still "undiscovered" for the selective rule.
+        context = make_context([0.05, 0.15], m=10)
+        mask = SelectivePromotionRule().select(context)
+        assert mask.tolist() == [True, False]
+
+    def test_exactly_one_user_not_selected(self):
+        context = make_context([0.1], m=10)
+        assert not SelectivePromotionRule().select(context).any()
+
+    def test_without_population_falls_back_to_zero_test(self):
+        context = RankingContext(popularity=np.zeros(2), awareness=np.array([0.0, 0.01]))
+        mask = SelectivePromotionRule().select(context)
+        assert mask.tolist() == [True, False]
+
+
+class TestAgeThresholdPromotionRule:
+    def test_selects_young_pages(self):
+        context = make_context([0.0, 0.0, 0.0], ages=np.array([5.0, 50.0, 10.0]))
+        mask = AgeThresholdPromotionRule(max_age_days=20.0).select(context)
+        assert mask.tolist() == [True, False, True]
+
+    def test_requires_ages(self):
+        with pytest.raises(ValueError):
+            AgeThresholdPromotionRule().select(make_context([0.0]))
+
+
+class TestPopularityThresholdPromotionRule:
+    def test_selects_low_popularity(self):
+        context = make_context([0.0, 0.5, 1.0], quality=[0.4, 0.4, 0.001])
+        mask = PopularityThresholdPromotionRule(threshold=0.01).select(context)
+        assert mask.tolist() == [True, False, True]
+
+
+class TestDescriptions:
+    @pytest.mark.parametrize(
+        "rule",
+        [
+            NoPromotionRule(),
+            UniformPromotionRule(0.2),
+            SelectivePromotionRule(),
+            AgeThresholdPromotionRule(),
+            PopularityThresholdPromotionRule(),
+        ],
+        ids=lambda r: type(r).__name__,
+    )
+    def test_describe_nonempty(self, rule):
+        assert rule.describe()

@@ -1,0 +1,201 @@
+"""Tests for the ranker hierarchy and the policy objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    DETERMINISTIC_POLICY,
+    RECOMMENDED_POLICY,
+    RECOMMENDED_POLICY_SAFE_TOP,
+    RankPromotionPolicy,
+)
+from repro.core.promotion import SelectivePromotionRule, UniformPromotionRule
+from repro.core.rankers import (
+    NoPromotionRanker,
+    PopularityRanker,
+    QualityOracleRanker,
+    RandomRanker,
+    RandomizedPromotionRanker,
+    selective_ranker,
+    uniform_ranker,
+)
+from repro.core.rankers_context import RankingContext
+
+
+def make_context(popularity, quality=None, awareness=None, ages=None, m=10):
+    popularity = np.asarray(popularity, dtype=float)
+    awareness = popularity.copy() if awareness is None else np.asarray(awareness, dtype=float)
+    return RankingContext(
+        popularity=popularity,
+        awareness=awareness,
+        quality=None if quality is None else np.asarray(quality, dtype=float),
+        ages=None if ages is None else np.asarray(ages, dtype=float),
+        monitored_population=m,
+    )
+
+
+class TestPopularityRanker:
+    def test_sorts_by_popularity(self):
+        context = make_context([0.1, 0.9, 0.5])
+        ranking = PopularityRanker().rank(context, rng=0)
+        assert ranking.tolist() == [1, 2, 0]
+
+    def test_age_tie_breaking(self):
+        context = make_context([0.5, 0.5, 0.5], ages=[1.0, 10.0, 5.0])
+        ranking = PopularityRanker(tie_breaker="age").rank(context, rng=0)
+        assert ranking.tolist() == [1, 2, 0]
+
+    def test_index_tie_breaking_is_stable(self):
+        context = make_context([0.5, 0.5, 0.5])
+        ranking = PopularityRanker(tie_breaker="index").rank(context, rng=0)
+        assert ranking.tolist() == [0, 1, 2]
+
+    def test_random_tie_breaking_varies(self):
+        context = make_context(np.zeros(50))
+        rankings = {tuple(PopularityRanker().rank(context, rng=s)) for s in range(5)}
+        assert len(rankings) > 1
+
+    def test_random_tie_breaking_respects_popularity(self):
+        context = make_context([0.0, 0.3, 0.0, 0.8])
+        for seed in range(5):
+            ranking = PopularityRanker().rank(context, rng=seed)
+            assert ranking[0] == 3 and ranking[1] == 1
+
+    def test_invalid_tie_breaker(self):
+        with pytest.raises(ValueError):
+            PopularityRanker(tie_breaker="bogus")
+
+    def test_is_permutation(self):
+        context = make_context(np.random.default_rng(0).random(100))
+        ranking = PopularityRanker().rank(context, rng=0)
+        assert sorted(ranking.tolist()) == list(range(100))
+
+
+class TestRandomizedPromotionRanker:
+    def test_returns_permutation(self):
+        context = make_context(np.random.default_rng(1).random(200),
+                               awareness=np.zeros(200))
+        ranker = RandomizedPromotionRanker(SelectivePromotionRule(), k=1, r=0.2)
+        ranking = ranker.rank(context, rng=0)
+        assert sorted(ranking.tolist()) == list(range(200))
+
+    def test_r_zero_equals_popularity_ranking(self):
+        popularity = np.random.default_rng(2).random(50)
+        context = make_context(popularity, awareness=np.ones(50))
+        randomized = RandomizedPromotionRanker(SelectivePromotionRule(), k=1, r=0.0)
+        baseline = PopularityRanker(tie_breaker="index")
+        context_sorted_a = randomized.rank(context, rng=0)
+        context_sorted_b = baseline.rank(context, rng=0)
+        # No zero-awareness pages and r=0: ordering by popularity either way.
+        assert np.array_equal(
+            np.asarray(popularity)[context_sorted_a].round(12),
+            np.asarray(popularity)[context_sorted_b].round(12),
+        )
+
+    def test_protected_top_result_with_k2(self):
+        popularity = np.linspace(1.0, 0.1, 30)
+        awareness = np.concatenate([np.ones(20), np.zeros(10)])
+        context = make_context(popularity, awareness=awareness)
+        ranker = RandomizedPromotionRanker(SelectivePromotionRule(), k=2, r=0.9)
+        for seed in range(10):
+            assert ranker.rank(context, rng=seed)[0] == 0
+
+    def test_k1_r_high_promotes_unexplored_to_top(self):
+        popularity = np.linspace(1.0, 0.5, 20)
+        awareness = np.concatenate([np.ones(19), [0.0]])
+        context = make_context(popularity, awareness=awareness)
+        ranker = RandomizedPromotionRanker(SelectivePromotionRule(), k=1, r=0.99)
+        ranking = ranker.rank(context, rng=0)
+        assert ranking[0] == 19
+
+    def test_selective_promotes_only_zero_awareness(self):
+        # Promoted pages are exactly the zero-awareness ones; with r=1 they
+        # all appear before the deterministic remainder (k=1).
+        popularity = np.array([0.9, 0.0, 0.8, 0.0])
+        awareness = np.array([1.0, 0.0, 1.0, 0.0])
+        context = make_context(popularity, awareness=awareness)
+        ranker = RandomizedPromotionRanker(SelectivePromotionRule(), k=1, r=1.0)
+        ranking = ranker.rank(context, rng=1)
+        assert set(ranking[:2].tolist()) == {1, 3}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomizedPromotionRanker(SelectivePromotionRule(), k=0, r=0.1)
+        with pytest.raises(ValueError):
+            RandomizedPromotionRanker(SelectivePromotionRule(), k=1, r=1.5)
+
+    def test_is_randomized_flag(self):
+        assert RandomizedPromotionRanker(SelectivePromotionRule()).is_randomized
+        assert not PopularityRanker(tie_breaker="index").is_randomized
+
+    def test_convenience_constructors(self):
+        assert isinstance(selective_ranker(0.1, 2).promotion_rule, SelectivePromotionRule)
+        uniform = uniform_ranker(0.2, 1)
+        assert isinstance(uniform.promotion_rule, UniformPromotionRule)
+        assert uniform.promotion_rule.probability == pytest.approx(0.2)
+
+    def test_no_promotion_ranker_is_deterministic_order(self):
+        context = make_context([0.3, 0.7, 0.1], awareness=np.zeros(3))
+        ranking = NoPromotionRanker().rank(context, rng=0)
+        assert ranking.tolist() == [1, 0, 2]
+
+
+class TestQualityOracleRanker:
+    def test_sorts_by_quality(self):
+        context = make_context([0.9, 0.1, 0.5], quality=[0.1, 0.9, 0.5])
+        assert QualityOracleRanker().rank(context).tolist() == [1, 2, 0]
+
+    def test_requires_quality(self):
+        with pytest.raises(ValueError):
+            QualityOracleRanker().rank(make_context([0.1, 0.2]))
+
+
+class TestRandomRanker:
+    def test_is_permutation(self):
+        context = make_context(np.random.default_rng(0).random(64))
+        ranking = RandomRanker().rank(context, rng=0)
+        assert sorted(ranking.tolist()) == list(range(64))
+
+    def test_varies_with_seed(self):
+        context = make_context(np.random.default_rng(0).random(64))
+        a = RandomRanker().rank(context, rng=0)
+        b = RandomRanker().rank(context, rng=1)
+        assert not np.array_equal(a, b)
+
+
+class TestRankPromotionPolicy:
+    def test_recommended_policy_values(self):
+        assert RECOMMENDED_POLICY.rule == "selective"
+        assert RECOMMENDED_POLICY.r == pytest.approx(0.1)
+        assert RECOMMENDED_POLICY.k == 1
+        assert RECOMMENDED_POLICY_SAFE_TOP.k == 2
+
+    def test_deterministic_policy(self):
+        assert DETERMINISTIC_POLICY.is_deterministic
+        assert isinstance(DETERMINISTIC_POLICY.build_ranker(), PopularityRanker)
+
+    def test_r_zero_is_deterministic(self):
+        assert RankPromotionPolicy("selective", 1, 0.0).is_deterministic
+
+    def test_build_selective_ranker(self):
+        ranker = RankPromotionPolicy("selective", 2, 0.3).build_ranker()
+        assert isinstance(ranker, RandomizedPromotionRanker)
+        assert isinstance(ranker.promotion_rule, SelectivePromotionRule)
+        assert ranker.k == 2 and ranker.r == pytest.approx(0.3)
+
+    def test_build_uniform_ranker(self):
+        ranker = RankPromotionPolicy("uniform", 1, 0.25).build_ranker()
+        assert isinstance(ranker.promotion_rule, UniformPromotionRule)
+        assert ranker.promotion_rule.probability == pytest.approx(0.25)
+
+    def test_invalid_rule_rejected(self):
+        with pytest.raises(ValueError):
+            RankPromotionPolicy("magic", 1, 0.1)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            RankPromotionPolicy("selective", 0, 0.1)
+
+    def test_describe(self):
+        assert "Selective" in RECOMMENDED_POLICY.describe()
+        assert "No randomization" in DETERMINISTIC_POLICY.describe()

@@ -1,0 +1,145 @@
+"""Tests for the experiment drivers, registry, defaults and CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import figure1, figure2, figure3
+from repro.experiments.defaults import (
+    ExperimentScale,
+    default_community,
+    fast_community,
+    scaled_settings,
+    smoke_community,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.results import ExperimentResult, SeriesResult
+
+
+class TestDefaults:
+    def test_default_community_is_paper_default(self):
+        community = default_community()
+        assert community.n_pages == 10_000 and community.n_users == 1_000
+
+    def test_fast_community_preserves_ratios(self):
+        community = fast_community()
+        assert community.n_users / community.n_pages == pytest.approx(0.1)
+        assert community.monitored_fraction == pytest.approx(0.1)
+
+    def test_scaled_settings_names(self):
+        for scale in ("paper", "fast", "smoke"):
+            settings = scaled_settings(scale)
+            assert isinstance(settings, ExperimentScale)
+            assert settings.name == scale
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_settings("huge")
+
+    def test_simulation_config_scaled_to_lifetime(self):
+        settings = scaled_settings("smoke")
+        config = settings.simulation_config()
+        lifetime = smoke_community().expected_lifetime_days
+        assert config.warmup_days == pytest.approx(settings.warmup_lifetimes * lifetime, abs=1)
+
+
+class TestResultContainers:
+    def test_series_add_and_rows(self):
+        series = SeriesResult("demo")
+        series.add(1, 2)
+        series.add(3, 4)
+        assert series.as_rows() == [("demo", 1.0, 2.0), ("demo", 3.0, 4.0)]
+
+    def test_experiment_result_table_render(self):
+        result = ExperimentResult("figX", "title", "x", "y")
+        series = result.add_series("a")
+        series.add(0.0, 1.0)
+        series.add(1.0, 2.0)
+        text = result.render()
+        assert "figX" in text and "a" in text
+
+    def test_get_series(self):
+        result = ExperimentResult("figX", "title", "x", "y")
+        result.add_series("a")
+        assert result.get_series("a").name == "a"
+        with pytest.raises(KeyError):
+            result.get_series("missing")
+
+    def test_table_handles_missing_points(self):
+        result = ExperimentResult("figX", "t", "x", "y")
+        a = result.add_series("a")
+        b = result.add_series("b")
+        a.add(0.0, 1.0)
+        b.add(1.0, 2.0)
+        text = result.to_table().render()
+        assert "-" in text
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        names = list_experiments()
+        for expected in ("figure1", "figure2", "figure3", "figure4a", "figure4b",
+                         "figure5", "figure6", "figure7a", "figure7b", "figure7c",
+                         "figure7d", "figure8"):
+            assert expected in names
+
+    def test_get_experiment_returns_callable(self):
+        assert callable(get_experiment("figure5"))
+
+    def test_unknown_experiment_raises_with_guidance(self):
+        with pytest.raises(KeyError, match="available"):
+            get_experiment("figure99")
+
+    def test_every_driver_accepts_scale_and_seed(self):
+        for name, driver in EXPERIMENTS.items():
+            code = driver.__code__
+            assert "scale" in code.co_varnames[:code.co_argcount], name
+            assert "seed" in code.co_varnames[:code.co_argcount], name
+
+
+class TestDriversSmokeScale:
+    def test_figure1_driver(self):
+        result = figure1.run(scale="smoke", seed=0)
+        assert result.experiment == "figure1"
+        series = result.get_series("funny-vote ratio")
+        assert len(series.y) == 2
+        assert all(0.0 <= value <= 1.0 for value in series.y)
+
+    def test_figure2_driver(self):
+        result = figure2.run(scale="smoke", seed=0, horizon_days=60)
+        without = result.get_series("without rank promotion")
+        with_promo = result.get_series("with rank promotion")
+        assert len(without.y) == len(with_promo.y) > 0
+        assert all(value >= 0.0 for value in without.y + with_promo.y)
+        # Early in the page's life, promotion should give at least as many visits.
+        assert with_promo.y[0] >= without.y[0]
+
+    def test_figure3_driver(self):
+        result = figure3.run(scale="smoke", seed=0)
+        for series in result.series:
+            assert sum(series.y) == pytest.approx(1.0, abs=1e-6)
+
+    def test_figure3_selective_shifts_mass_upward(self):
+        result = figure3.run(scale="smoke", seed=0)
+        baseline = result.series[0]
+        promoted = result.series[1]
+        # Mass at the top awareness bin should grow under selective promotion.
+        assert promoted.y[-1] >= baseline.y[-1]
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["figure3"])
+        assert args.scale == "fast" and args.seed == 0
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["figure99"]) == 2
+
+    def test_run_figure3_smoke(self, capsys):
+        assert main(["figure3", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out and "completed" in out

@@ -1,0 +1,149 @@
+"""Tests for repro.metrics: QPC, TBP and awareness statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.awareness_stats import awareness_histogram, awareness_summary
+from repro.metrics.qpc import QPCAccumulator, ideal_qpc, normalized_qpc, qpc_from_visits
+from repro.metrics.tbp import tbp_from_trajectory, time_to_become_popular
+from repro.visits.attention import UniformAttention
+
+
+class TestQpcFromVisits:
+    def test_weighted_mean(self):
+        qpc = qpc_from_visits(np.array([3.0, 1.0]), np.array([0.4, 0.0]))
+        assert qpc == pytest.approx(0.3)
+
+    def test_no_visits_is_zero(self):
+        assert qpc_from_visits(np.zeros(3), np.full(3, 0.5)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            qpc_from_visits(np.zeros(3), np.zeros(2))
+
+    def test_bounded_by_max_quality(self):
+        visits = np.random.default_rng(0).random(50)
+        quality = np.random.default_rng(1).random(50) * 0.4
+        assert qpc_from_visits(visits, quality) <= 0.4
+
+
+class TestIdealQpc:
+    def test_single_page(self):
+        assert ideal_qpc(np.array([0.3])) == pytest.approx(0.3)
+
+    def test_uniform_attention_is_mean_quality(self):
+        quality = np.array([0.1, 0.2, 0.3, 0.4])
+        assert ideal_qpc(quality, UniformAttention()) == pytest.approx(0.25)
+
+    def test_rank_bias_weights_best_pages(self):
+        quality = np.array([0.0] * 9 + [0.4])
+        assert ideal_qpc(quality) > np.mean(quality)
+
+    def test_independent_of_input_order(self):
+        rng = np.random.default_rng(0)
+        quality = rng.random(30)
+        shuffled = rng.permutation(quality)
+        assert ideal_qpc(quality) == pytest.approx(ideal_qpc(shuffled))
+
+
+class TestNormalizedQpc:
+    def test_ideal_gives_one(self):
+        quality = np.linspace(0.01, 0.4, 20)
+        ideal = ideal_qpc(quality)
+        assert normalized_qpc(ideal, quality) == pytest.approx(1.0)
+
+    def test_zero_absolute_gives_zero(self):
+        assert normalized_qpc(0.0, np.array([0.1, 0.2])) == 0.0
+
+
+class TestQPCAccumulator:
+    def test_accumulates_multiple_steps(self):
+        accumulator = QPCAccumulator()
+        accumulator.update(np.array([1.0, 0.0]), np.array([0.4, 0.0]))
+        accumulator.update(np.array([0.0, 1.0]), np.array([0.4, 0.0]))
+        assert accumulator.value == pytest.approx(0.2)
+        assert accumulator.steps == 2
+
+    def test_empty_accumulator_value(self):
+        assert QPCAccumulator().value == 0.0
+
+    def test_merge(self):
+        a = QPCAccumulator(weighted_quality=1.0, total_visits=4.0, steps=1)
+        b = QPCAccumulator(weighted_quality=3.0, total_visits=6.0, steps=2)
+        merged = a.merge(b)
+        assert merged.value == pytest.approx(0.4)
+        assert merged.steps == 3
+
+
+class TestTbp:
+    def test_crossing_interpolated(self):
+        times = np.array([0.0, 10.0, 20.0])
+        popularity = np.array([0.0, 0.2, 0.4])
+        # Target 0.99 * 0.4 = 0.396, crossed between day 10 and 20.
+        tbp = time_to_become_popular(times, popularity, quality=0.4)
+        assert 19.0 < tbp < 20.0
+
+    def test_never_crossing_returns_none(self):
+        times = np.arange(5.0)
+        popularity = np.full(5, 0.1)
+        assert time_to_become_popular(times, popularity, quality=0.4) is None
+
+    def test_immediate_crossing(self):
+        times = np.array([0.0, 1.0])
+        popularity = np.array([0.5, 0.5])
+        assert time_to_become_popular(times, popularity, quality=0.4) == 0.0
+
+    def test_custom_threshold(self):
+        times = np.array([0.0, 10.0])
+        popularity = np.array([0.0, 0.4])
+        early = time_to_become_popular(times, popularity, 0.4, threshold=0.5)
+        late = time_to_become_popular(times, popularity, 0.4, threshold=0.99)
+        assert early < late
+
+    def test_empty_trajectory(self):
+        assert time_to_become_popular([], [], quality=0.4) is None
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            time_to_become_popular([0.0], [0.1], quality=0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            time_to_become_popular([0.0, 1.0], [0.1], quality=0.4)
+
+    def test_tbp_from_trajectory_uses_dt(self):
+        trajectory = np.array([0.0, 0.1, 0.2, 0.4])
+        daily = tbp_from_trajectory(trajectory, quality=0.4, dt=1.0)
+        weekly = tbp_from_trajectory(trajectory, quality=0.4, dt=7.0)
+        assert weekly == pytest.approx(7.0 * daily)
+
+
+class TestAwarenessStats:
+    def test_histogram_sums_to_one(self):
+        awareness = np.random.default_rng(0).random(500)
+        _, probabilities = awareness_histogram(awareness, bins=10)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_histogram_respects_weights(self):
+        awareness = np.array([0.05, 0.95])
+        _, probabilities = awareness_histogram(awareness, bins=2, weights=np.array([3.0, 1.0]))
+        assert probabilities[0] == pytest.approx(0.75)
+
+    def test_histogram_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            awareness_histogram(np.array([1.5]))
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(ValueError):
+            awareness_histogram(np.array([]))
+
+    def test_summary_fields(self):
+        awareness = np.array([0.0, 0.0, 1.0, 1.0])
+        summary = awareness_summary(awareness)
+        assert summary["mean"] == pytest.approx(0.5)
+        assert summary["share_near_zero"] == pytest.approx(0.5)
+        assert summary["share_near_full"] == pytest.approx(0.5)
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            awareness_summary(np.array([]))

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.awareness import awareness_distribution
+from repro.analysis.rank_visit import RankToVisitLaw, selective_rank_shift
+from repro.core.merge import merge_positions, randomized_merge
+from repro.core.rankers import PopularityRanker, RandomizedPromotionRanker
+from repro.core.promotion import SelectivePromotionRule, UniformPromotionRule
+from repro.core.rankers_context import RankingContext
+from repro.metrics.qpc import ideal_qpc, qpc_from_visits
+from repro.metrics.tbp import tbp_from_trajectory
+from repro.utils.mathutils import power_law_weights
+from repro.visits.attention import PowerLawAttention
+
+# Reasonable caps keep hypothesis runs fast while still exploring the space.
+COMMON_SETTINGS = dict(max_examples=50, deadline=None)
+
+
+class TestMergeProperties:
+    @given(
+        n_total=st.integers(min_value=1, max_value=300),
+        promoted_fraction=st.floats(min_value=0.0, max_value=1.0),
+        k=st.integers(min_value=1, max_value=30),
+        r=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_merge_positions_invariants(self, n_total, promoted_fraction, k, r, seed):
+        n_promoted = int(round(promoted_fraction * n_total))
+        slots = merge_positions(n_total, n_promoted, k, r, rng=seed)
+        # Exactly the promoted count is marked, never inside the protected prefix.
+        assert slots.sum() == n_promoted
+        protected = min(k - 1, n_total - n_promoted)
+        assert not slots[:protected].any()
+
+    @given(
+        n_deterministic=st.integers(min_value=0, max_value=150),
+        n_promoted=st.integers(min_value=0, max_value=150),
+        k=st.integers(min_value=1, max_value=20),
+        r=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_randomized_merge_is_permutation_preserving_det_order(
+        self, n_deterministic, n_promoted, k, r, seed
+    ):
+        deterministic = np.arange(n_deterministic)
+        promoted = np.arange(n_deterministic, n_deterministic + n_promoted)
+        merged = randomized_merge(deterministic, promoted, k, r, rng=seed)
+        assert sorted(merged.tolist()) == list(range(n_deterministic + n_promoted))
+        kept = [x for x in merged if x < n_deterministic]
+        assert kept == sorted(kept)
+
+
+class TestRankerProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=200),
+        r=st.floats(min_value=0.0, max_value=1.0),
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_randomized_promotion_always_returns_permutation(self, n, r, k, seed):
+        rng = np.random.default_rng(seed)
+        awareness = (rng.random(n) > 0.5).astype(float)
+        quality = rng.random(n) * 0.4
+        context = RankingContext(
+            popularity=awareness * quality,
+            awareness=awareness,
+            quality=quality,
+            monitored_population=10,
+        )
+        ranker = RandomizedPromotionRanker(SelectivePromotionRule(), k=k, r=r)
+        ranking = ranker.rank(context, rng=seed)
+        assert sorted(ranking.tolist()) == list(range(n))
+
+    @given(
+        n=st.integers(min_value=2, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_popularity_ranking_is_sorted(self, n, seed):
+        rng = np.random.default_rng(seed)
+        popularity = rng.random(n)
+        context = RankingContext(popularity=popularity, awareness=popularity)
+        ranking = PopularityRanker().rank(context, rng=seed)
+        assert np.all(np.diff(popularity[ranking]) <= 1e-12)
+
+
+class TestAttentionProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=2000),
+        exponent=st.floats(min_value=0.2, max_value=3.0),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_shares_normalized_and_sorted(self, n, exponent):
+        shares = PowerLawAttention(exponent).visit_shares(n)
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(shares) <= 1e-15)
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        exponent=st.floats(min_value=0.2, max_value=3.0),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_power_law_weights_match_attention(self, n, exponent):
+        assert np.allclose(
+            power_law_weights(n, exponent), PowerLawAttention(exponent).visit_shares(n)
+        )
+
+
+class TestMetricProperties:
+    @given(
+        quality=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=100),
+        visits=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=100),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_qpc_bounded_by_quality_range(self, quality, visits):
+        size = min(len(quality), len(visits))
+        quality_arr = np.asarray(quality[:size])
+        visits_arr = np.asarray(visits[:size])
+        value = qpc_from_visits(visits_arr, quality_arr)
+        assert 0.0 <= value <= quality_arr.max() + 1e-12
+
+    @given(
+        quality=st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=1, max_size=60),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_ideal_qpc_at_least_any_allocation(self, quality):
+        quality_arr = np.asarray(quality)
+        ideal = ideal_qpc(quality_arr)
+        rng = np.random.default_rng(0)
+        ranking = rng.permutation(quality_arr.size)
+        shares = PowerLawAttention().visit_shares(quality_arr.size)
+        visits = np.empty_like(shares)
+        visits[ranking] = shares
+        assert ideal >= qpc_from_visits(visits, quality_arr) - 1e-9
+
+    @given(
+        values=st.lists(st.floats(min_value=0.0, max_value=0.39), min_size=2, max_size=50),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_tbp_none_when_never_popular(self, values):
+        trajectory = np.asarray(values)
+        assert tbp_from_trajectory(trajectory, quality=0.4) is None
+
+
+class TestAnalysisProperties:
+    @given(
+        quality=st.floats(min_value=0.01, max_value=1.0),
+        visit_rate=st.floats(min_value=1e-4, max_value=20.0),
+        death_rate=st.floats(min_value=1e-4, max_value=1.0),
+        m=st.integers(min_value=1, max_value=60),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_awareness_distribution_is_distribution(self, quality, visit_rate, death_rate, m):
+        distribution = awareness_distribution(
+            quality,
+            lambda x: np.full_like(np.asarray(x, dtype=float), visit_rate),
+            death_rate,
+            m,
+        )
+        assert distribution.shape == (m + 1,)
+        assert np.all(distribution >= 0.0)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    @given(
+        rank=st.floats(min_value=1.0, max_value=10_000.0),
+        k=st.integers(min_value=1, max_value=20),
+        r=st.floats(min_value=0.0, max_value=0.95),
+        pool=st.floats(min_value=0.0, max_value=10_000.0),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_selective_shift_never_improves_rank(self, rank, k, r, pool):
+        base = np.array([rank])
+        shifted = selective_rank_shift(base, k, r, pool)
+        assert shifted[0] >= rank - 1e-9
+
+    @given(
+        n=st.integers(min_value=2, max_value=5_000),
+        visits=st.floats(min_value=1.0, max_value=1_000.0),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_rank_to_visit_law_mass_conserved(self, n, visits):
+        law = RankToVisitLaw(n_pages=n, total_visits=visits)
+        assert law.visits_by_rank().sum() == pytest.approx(visits)
+
+
+class TestPromotionRuleProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        probability=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_uniform_rule_mask_shape(self, n, probability, seed):
+        rng = np.random.default_rng(seed)
+        context = RankingContext(popularity=rng.random(n), awareness=rng.random(n))
+        mask = UniformPromotionRule(probability).select(context, rng=seed)
+        assert mask.shape == (n,)
+        assert mask.dtype == bool
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_selective_rule_matches_zero_awareness_exactly(self, n, seed):
+        rng = np.random.default_rng(seed)
+        aware_users = rng.integers(0, 5, size=n)
+        context = RankingContext(
+            popularity=aware_users / 10.0,
+            awareness=aware_users / 10.0,
+            monitored_population=10,
+        )
+        mask = SelectivePromotionRule().select(context)
+        assert np.array_equal(mask, aware_users == 0)

@@ -1,0 +1,190 @@
+"""Tests for the simulation engine, configuration and runner helpers."""
+
+import numpy as np
+import pytest
+
+from repro.community import CommunityConfig, PointMassQualityDistribution
+from repro.core.policy import RankPromotionPolicy
+from repro.core.rankers import PopularityRanker, QualityOracleRanker
+from repro.simulation import (
+    SimulationConfig,
+    Simulator,
+    compare_policies,
+    measure_qpc,
+    measure_tbp,
+    popularity_trajectory,
+)
+from repro.simulation.observers import AwarenessSnapshotObserver, QPCObserver
+from repro.visits.surfing import MixedSurfingModel
+
+
+class TestSimulationConfig:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.warmup_days > 0 and config.measure_days > 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(mode="warp")
+
+    def test_invalid_probe_quality_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(probe_quality=1.5)
+
+    def test_total_days_includes_probe_horizon(self):
+        config = SimulationConfig(warmup_days=10, measure_days=5,
+                                  probe_quality=0.4, probe_horizon_days=50)
+        assert config.total_days == 60
+
+    def test_fast_scales_down(self):
+        config = SimulationConfig(warmup_days=100, measure_days=100).fast(4)
+        assert config.warmup_days == 25 and config.measure_days == 25
+
+    def test_for_community_scales_with_lifetime(self, tiny_community):
+        config = SimulationConfig.for_community(tiny_community, warmup_lifetimes=2,
+                                                measure_lifetimes=1)
+        assert config.warmup_days == pytest.approx(100, abs=1)
+        assert config.measure_days == pytest.approx(50, abs=1)
+
+    def test_with_seed(self):
+        assert SimulationConfig().with_seed(5).seed == 5
+
+
+class TestSimulatorBasics:
+    def test_step_returns_visit_allocation(self, tiny_community, fast_sim_config):
+        simulator = Simulator(tiny_community, PopularityRanker(), fast_sim_config)
+        visits = simulator.step()
+        assert visits.shape == (tiny_community.n_pages,)
+        assert visits.sum() == pytest.approx(tiny_community.total_visit_rate)
+
+    def test_awareness_monotone_between_deaths(self, tiny_community):
+        config = SimulationConfig(warmup_days=1, measure_days=1, mode="fluid", seed=0)
+        community = CommunityConfig(
+            n_pages=100, n_users=20, monitored_fraction=0.5,
+            expected_lifetime_days=10_000.0,
+        )
+        simulator = Simulator(community, PopularityRanker(), config)
+        before = simulator.pool.awareness.copy()
+        simulator.step()
+        after = simulator.pool.awareness
+        assert np.all(after >= before - 1e-12)
+
+    def test_run_returns_result(self, tiny_community, fast_sim_config):
+        result = Simulator(tiny_community, PopularityRanker(),
+                           fast_sim_config.with_seed(1)).run()
+        assert 0.0 <= result.qpc_absolute <= 1.0
+        assert 0.0 <= result.qpc_normalized <= 1.5
+        assert result.days_simulated == fast_sim_config.warmup_days + fast_sim_config.measure_days
+        assert result.final_awareness is not None
+
+    def test_reproducible_with_seed(self, tiny_community, fast_sim_config):
+        a = Simulator(tiny_community, PopularityRanker(), fast_sim_config.with_seed(3)).run()
+        b = Simulator(tiny_community, PopularityRanker(), fast_sim_config.with_seed(3)).run()
+        assert a.qpc_absolute == pytest.approx(b.qpc_absolute)
+
+    def test_different_seeds_differ(self, tiny_community, fast_sim_config):
+        a = Simulator(tiny_community, PopularityRanker(), fast_sim_config.with_seed(3)).run()
+        b = Simulator(tiny_community, PopularityRanker(), fast_sim_config.with_seed(4)).run()
+        assert a.qpc_absolute != pytest.approx(b.qpc_absolute)
+
+    def test_fluid_mode_runs(self, tiny_community):
+        config = SimulationConfig(warmup_days=30, measure_days=30, mode="fluid", seed=0)
+        result = Simulator(tiny_community, PopularityRanker(), config).run()
+        assert result.qpc_absolute > 0
+
+    def test_oracle_ranker_approaches_ideal(self, tiny_community):
+        config = SimulationConfig(warmup_days=150, measure_days=100, seed=0)
+        result = Simulator(tiny_community, QualityOracleRanker(), config).run()
+        assert result.qpc_normalized > 0.9
+
+    def test_probe_injection_tracks_trajectory(self, tiny_community):
+        config = SimulationConfig(warmup_days=30, measure_days=30, seed=0,
+                                  probe_quality=0.4, probe_horizon_days=50)
+        result = Simulator(tiny_community, QualityOracleRanker(), config).run()
+        assert result.probe_trajectory is not None
+        assert result.probe_trajectory.size > 0
+        assert result.probe_quality == pytest.approx(0.4)
+
+    def test_surfing_model_changes_outcome(self, tiny_community, fast_sim_config):
+        plain = Simulator(tiny_community, PopularityRanker(),
+                          fast_sim_config.with_seed(5)).run()
+        surf = Simulator(tiny_community, PopularityRanker(), fast_sim_config.with_seed(5),
+                         surfing=MixedSurfingModel(surfing_fraction=0.8)).run()
+        assert plain.qpc_absolute != pytest.approx(surf.qpc_absolute)
+
+    def test_point_mass_quality_gives_quality_qpc(self):
+        community = CommunityConfig(
+            n_pages=100, n_users=20, monitored_fraction=0.5,
+            quality_distribution=PointMassQualityDistribution(0.3),
+            expected_lifetime_days=50.0,
+        )
+        config = SimulationConfig(warmup_days=20, measure_days=20, seed=0)
+        result = Simulator(community, PopularityRanker(), config).run()
+        assert result.qpc_absolute == pytest.approx(0.3)
+        assert result.qpc_normalized == pytest.approx(1.0)
+
+    def test_history_length_enables_history(self, tiny_community):
+        simulator = Simulator(tiny_community, PopularityRanker(),
+                              SimulationConfig(warmup_days=1, measure_days=1, seed=0),
+                              history_length=3)
+        for _ in range(5):
+            simulator.step()
+        assert simulator._history_array().shape[0] == 3
+
+    def test_negative_history_rejected(self, tiny_community):
+        with pytest.raises(ValueError):
+            Simulator(tiny_community, PopularityRanker(), history_length=-1)
+
+
+class TestObservers:
+    def test_qpc_observer(self, tiny_pool):
+        observer = QPCObserver()
+        observer.record(0, tiny_pool, np.ones(tiny_pool.n))
+        assert observer.qpc == pytest.approx(tiny_pool.quality.mean())
+
+    def test_awareness_snapshot_observer(self, tiny_pool):
+        observer = AwarenessSnapshotObserver(every=2)
+        observer.record(2, tiny_pool, np.ones(tiny_pool.n))
+        observer.record(3, tiny_pool, np.ones(tiny_pool.n))
+        assert observer.latest is not None
+        assert len(observer.snapshots) == 1
+
+
+class TestRunnerHelpers:
+    def test_measure_qpc_keys(self, tiny_community, fast_sim_config):
+        result = measure_qpc(tiny_community, RankPromotionPolicy("none", 1, 0.0),
+                             fast_sim_config, repetitions=2, seed=0)
+        assert set(result) >= {"qpc_absolute", "qpc_normalized", "repetitions"}
+        assert result["repetitions"] == 2
+
+    def test_measure_qpc_reproducible(self, tiny_community, fast_sim_config):
+        a = measure_qpc(tiny_community, RankPromotionPolicy("selective", 1, 0.2),
+                        fast_sim_config, repetitions=2, seed=9)
+        b = measure_qpc(tiny_community, RankPromotionPolicy("selective", 1, 0.2),
+                        fast_sim_config, repetitions=2, seed=9)
+        assert a["qpc_normalized"] == pytest.approx(b["qpc_normalized"])
+
+    def test_measure_tbp_reports_censoring(self, tiny_community):
+        config = SimulationConfig(warmup_days=30, measure_days=30,
+                                  probe_horizon_days=40)
+        result = measure_tbp(tiny_community, RankPromotionPolicy("none", 1, 0.0),
+                             probe_quality=0.4, config=config, repetitions=2, seed=0)
+        assert 0.0 <= result["censored_fraction"] <= 1.0
+        assert result["tbp_days"] <= 40.0
+
+    def test_popularity_trajectory_shape(self, tiny_community):
+        config = SimulationConfig(warmup_days=20, measure_days=20)
+        trajectory = popularity_trajectory(
+            tiny_community, RankPromotionPolicy("selective", 1, 0.5),
+            probe_quality=0.4, horizon_days=60, config=config, repetitions=2, seed=0,
+        )
+        assert trajectory.shape == (60,)
+        assert np.all(trajectory >= 0.0)
+
+    def test_compare_policies(self, tiny_community, fast_sim_config):
+        policies = {
+            "none": RankPromotionPolicy("none", 1, 0.0),
+            "selective": RankPromotionPolicy("selective", 1, 0.2),
+        }
+        results = compare_policies(tiny_community, policies, fast_sim_config, seed=1)
+        assert set(results) == {"none", "selective"}

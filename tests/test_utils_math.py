@@ -1,0 +1,124 @@
+"""Tests for repro.utils.mathutils."""
+
+import numpy as np
+import pytest
+
+from repro.utils.mathutils import (
+    LogQuadraticCurve,
+    fit_log_quadratic,
+    normalized,
+    power_law_weights,
+    safe_log,
+    zipf_normalization,
+)
+
+
+class TestSafeLog:
+    def test_positive_values_unchanged(self):
+        assert np.allclose(safe_log([1.0, np.e]), [0.0, 1.0])
+
+    def test_zero_is_clipped_not_inf(self):
+        assert np.isfinite(safe_log(0.0))
+
+    def test_negative_is_clipped(self):
+        assert np.isfinite(safe_log(-5.0))
+
+
+class TestZipfNormalization:
+    def test_single_term(self):
+        assert zipf_normalization(1, 1.5) == pytest.approx(1.0)
+
+    def test_matches_direct_sum(self):
+        expected = sum(i ** -1.5 for i in range(1, 101))
+        assert zipf_normalization(100, 1.5) == pytest.approx(expected)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            zipf_normalization(0, 1.5)
+
+
+class TestPowerLawWeights:
+    def test_sums_to_one(self):
+        assert power_law_weights(50, 1.5).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = power_law_weights(20, 1.5)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_rank_ratio_follows_exponent(self):
+        weights = power_law_weights(100, 1.5)
+        assert weights[0] / weights[3] == pytest.approx(4 ** 1.5)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            power_law_weights(0, 1.5)
+
+
+class TestNormalized:
+    def test_normalizes_to_one(self):
+        assert normalized([1.0, 3.0]).sum() == pytest.approx(1.0)
+
+    def test_zero_vector_stays_zero(self):
+        assert np.allclose(normalized([0.0, 0.0]), [0.0, 0.0])
+
+    def test_preserves_ratios(self):
+        result = normalized([1.0, 2.0])
+        assert result[1] / result[0] == pytest.approx(2.0)
+
+
+class TestLogQuadraticCurve:
+    def test_pure_power_law(self):
+        # log F = b * log x + c is a power law F = e^c * x^b.
+        curve = LogQuadraticCurve(a=0.0, b=2.0, c=0.0)
+        assert curve(3.0) == pytest.approx(9.0)
+
+    def test_value_at_zero(self):
+        curve = LogQuadraticCurve(a=0.0, b=1.0, c=0.0, value_at_zero=0.5)
+        assert curve(0.0) == pytest.approx(0.5)
+
+    def test_vectorized_evaluation(self):
+        curve = LogQuadraticCurve(a=0.0, b=1.0, c=0.0, value_at_zero=0.1)
+        values = curve(np.array([0.0, 1.0, 2.0]))
+        assert values.shape == (3,)
+        assert values[0] == pytest.approx(0.1)
+        assert values[2] == pytest.approx(2.0)
+
+    def test_coefficients_roundtrip(self):
+        curve = LogQuadraticCurve(a=1.0, b=-2.0, c=0.5)
+        assert np.allclose(curve.coefficients(), [1.0, -2.0, 0.5])
+
+
+class TestFitLogQuadratic:
+    def test_recovers_power_law(self):
+        x = np.geomspace(0.01, 1.0, 30)
+        y = 5.0 * x ** 1.7
+        curve = fit_log_quadratic(x, y)
+        assert curve.a == pytest.approx(0.0, abs=1e-6)
+        assert curve.b == pytest.approx(1.7, abs=1e-6)
+
+    def test_recovers_quadratic_coefficients(self):
+        x = np.geomspace(0.001, 1.0, 40)
+        log_y = 0.3 * np.log(x) ** 2 + 1.2 * np.log(x) - 0.5
+        curve = fit_log_quadratic(x, np.exp(log_y))
+        assert curve.a == pytest.approx(0.3, abs=1e-6)
+        assert curve.b == pytest.approx(1.2, abs=1e-6)
+        assert curve.c == pytest.approx(-0.5, abs=1e-6)
+
+    def test_value_at_zero_is_kept(self):
+        x = np.geomspace(0.01, 1.0, 10)
+        curve = fit_log_quadratic(x, x, value_at_zero=0.123)
+        assert curve(0.0) == pytest.approx(0.123)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            fit_log_quadratic([1.0, 2.0], [1.0])
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_log_quadratic([1.0, 2.0], [1.0, 2.0])
+
+    def test_ignores_nonpositive_points(self):
+        x = np.concatenate([[0.0], np.geomspace(0.01, 1.0, 20)])
+        y = np.concatenate([[0.0], 2.0 * np.geomspace(0.01, 1.0, 20)])
+        curve = fit_log_quadratic(x, y)
+        assert curve.b == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,84 @@
+"""Tests for repro.utils.tables and repro.utils.validation."""
+
+import pytest
+
+from repro.utils.tables import Table, format_series
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestTable:
+    def test_render_contains_columns_and_rows(self):
+        table = Table(["x", "y"], title="demo")
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "demo" in text
+        assert "x" in text and "y" in text
+        assert "2.5000" in text
+
+    def test_row_length_mismatch_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_needs_at_least_one_column(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_large_and_small_floats_use_scientific(self):
+        table = Table(["v"])
+        table.add_row(1e-7)
+        table.add_row(1e7)
+        text = table.render()
+        assert "e-07" in text
+        assert "e+07" in text
+
+    def test_str_matches_render(self):
+        table = Table(["v"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+
+class TestFormatSeries:
+    def test_contains_name_and_points(self):
+        text = format_series("curve", [1, 2], [3.0, 4.0])
+        assert "curve" in text
+        assert "->" in text
+        assert text.count("->") == 2
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_positive_int_accepts(self):
+        assert check_positive_int("n", 3) == 3
+
+    def test_check_positive_int_rejects_float(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 2.5)
+
+    def test_check_positive_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", -1)
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_fraction_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+
+    def test_check_fraction_accepts_one(self):
+        assert check_fraction("f", 1.0) == 1.0

@@ -1,0 +1,68 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, derive_seed, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(7).random(5)
+        b = as_rng(7).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_rng(1).random(5), as_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert as_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(11)
+        assert isinstance(as_rng(sequence), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(5, 2)
+        assert not np.allclose(children[0].random(10), children[1].random(10))
+
+    def test_reproducible_for_same_seed(self):
+        first = [g.random(3) for g in spawn_rngs(9, 3)]
+        second = [g.random(3) for g in spawn_rngs(9, 3)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+
+    def test_spawn_from_generator(self):
+        generator = np.random.default_rng(1)
+        children = spawn_rngs(generator, 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "abc") == derive_seed(3, "abc")
+
+    def test_label_changes_seed(self):
+        assert derive_seed(3, "abc") != derive_seed(3, "abd")
+
+    def test_base_changes_seed(self):
+        assert derive_seed(3, "abc") != derive_seed(4, "abc")
+
+    def test_none_base_supported(self):
+        assert isinstance(derive_seed(None, "x"), int)

@@ -1,0 +1,147 @@
+"""Tests for repro.visits: attention models, allocation, mixed surfing."""
+
+import numpy as np
+import pytest
+
+from repro.visits.allocation import VisitAllocator, allocate_visits, expected_visits_by_rank
+from repro.visits.attention import (
+    CascadeAttention,
+    GeometricAttention,
+    PowerLawAttention,
+    UniformAttention,
+)
+from repro.visits.surfing import MixedSurfingModel
+
+ALL_MODELS = [PowerLawAttention(), UniformAttention(), GeometricAttention(), CascadeAttention()]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestAttentionContract:
+    def test_shares_sum_to_one(self, model):
+        assert model.visit_shares(50).sum() == pytest.approx(1.0)
+
+    def test_weights_nonnegative(self, model):
+        assert np.all(model.weights(50) >= 0)
+
+    def test_visit_rates_scale(self, model):
+        rates = model.visit_rates(20, total_visits=200.0)
+        assert rates.sum() == pytest.approx(200.0)
+
+    def test_monotone_nonincreasing(self, model):
+        weights = model.weights(30)
+        assert np.all(np.diff(weights) <= 1e-12)
+
+    def test_rejects_nonpositive_n(self, model):
+        with pytest.raises(ValueError):
+            model.weights(0)
+
+
+class TestPowerLawAttention:
+    def test_matches_equation_4(self):
+        # F2(rank) = theta * rank^{-3/2} with theta = v / sum(i^{-3/2}).
+        n, v = 100, 50.0
+        rates = PowerLawAttention().visit_rates(n, v)
+        theta = v / sum(i ** -1.5 for i in range(1, n + 1))
+        assert rates[0] == pytest.approx(theta)
+        assert rates[9] == pytest.approx(theta * 10 ** -1.5)
+
+    def test_rank_one_dominates(self):
+        shares = PowerLawAttention().visit_shares(10_000)
+        assert shares[0] > 0.35
+
+    def test_custom_exponent(self):
+        weights = PowerLawAttention(exponent=2.0).weights(10)
+        assert weights[0] / weights[1] == pytest.approx(4.0)
+
+
+class TestCascadeAttention:
+    def test_geometric_decay_in_continue_probability(self):
+        weights = CascadeAttention(stop_probability=0.5).weights(4)
+        assert np.allclose(weights, [1.0, 0.5, 0.25, 0.125])
+
+    def test_rejects_certain_stop(self):
+        with pytest.raises(ValueError):
+            CascadeAttention(stop_probability=1.0)
+
+
+class TestAllocation:
+    def test_expected_visits_by_rank_total(self):
+        rates = expected_visits_by_rank(30, 90.0)
+        assert rates.sum() == pytest.approx(90.0)
+
+    def test_allocate_visits_maps_rank_to_page(self):
+        ranking = np.array([2, 0, 1])  # page 2 is rank 1
+        by_page = allocate_visits(ranking, 10.0)
+        by_rank = expected_visits_by_rank(3, 10.0)
+        assert by_page[2] == pytest.approx(by_rank[0])
+        assert by_page[1] == pytest.approx(by_rank[2])
+
+    def test_allocator_expected_equals_function(self):
+        ranking = np.arange(10)
+        allocator = VisitAllocator(total_visits=25.0)
+        assert np.allclose(allocator.expected(ranking), allocate_visits(ranking, 25.0))
+
+    def test_allocator_sample_total_and_nonnegative(self):
+        ranking = np.arange(50)
+        allocator = VisitAllocator(total_visits=200.0)
+        sampled = allocator.sample(ranking, rng=0)
+        assert sampled.sum() == pytest.approx(200.0)
+        assert np.all(sampled >= 0)
+
+    def test_allocator_sample_concentrates_on_top_rank(self):
+        ranking = np.arange(100)
+        allocator = VisitAllocator(total_visits=10_000.0)
+        sampled = allocator.sample(ranking, rng=0)
+        assert sampled[0] > sampled[50]
+
+    def test_allocator_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            VisitAllocator(total_visits=0.0)
+
+
+class TestMixedSurfing:
+    def test_pure_search_passthrough(self):
+        model = MixedSurfingModel(surfing_fraction=0.0)
+        search = np.array([5.0, 3.0, 2.0])
+        assert np.allclose(model.combine(search, np.zeros(3), 10.0), search)
+
+    def test_total_visits_preserved(self):
+        model = MixedSurfingModel(surfing_fraction=0.4)
+        search = np.array([6.0, 3.0, 1.0])
+        popularity = np.array([0.5, 0.2, 0.0])
+        combined = model.combine(search, popularity, 10.0)
+        assert combined.sum() == pytest.approx(10.0)
+
+    def test_pure_surfing_ignores_search(self):
+        model = MixedSurfingModel(surfing_fraction=1.0, teleportation=0.0)
+        search = np.array([10.0, 0.0])
+        popularity = np.array([0.0, 1.0])
+        combined = model.combine(search, popularity, 10.0)
+        assert combined[1] == pytest.approx(10.0)
+
+    def test_teleportation_spreads_mass(self):
+        model = MixedSurfingModel(surfing_fraction=1.0, teleportation=1.0)
+        shares = model.surfing_shares(np.array([1.0, 0.0, 0.0, 0.0]))
+        assert np.allclose(shares, 0.25)
+
+    def test_zero_popularity_falls_back_to_teleport(self):
+        model = MixedSurfingModel(surfing_fraction=1.0, teleportation=0.15)
+        shares = model.surfing_shares(np.zeros(5))
+        assert np.allclose(shares, 0.2)
+
+    def test_surfing_shares_follow_popularity(self):
+        model = MixedSurfingModel(surfing_fraction=1.0, teleportation=0.0)
+        shares = model.surfing_shares(np.array([3.0, 1.0]))
+        assert shares[0] == pytest.approx(0.75)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            MixedSurfingModel(surfing_fraction=1.5)
+
+    def test_is_pure_search_flag(self):
+        assert MixedSurfingModel(0.0).is_pure_search
+        assert not MixedSurfingModel(0.2).is_pure_search
+
+    def test_empty_popularity_rejected(self):
+        with pytest.raises(ValueError):
+            MixedSurfingModel(0.5).surfing_shares(np.array([]))

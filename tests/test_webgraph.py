@@ -1,0 +1,192 @@
+"""Tests for the web-graph substrate: PageRank, generators, evolution."""
+
+import numpy as np
+import pytest
+
+from repro.community import CommunityConfig
+from repro.core.rankers import PopularityRanker
+from repro.core.rankers import RandomizedPromotionRanker
+from repro.core.promotion import SelectivePromotionRule
+from repro.webgraph.evolution import EvolvingWebGraph, GraphCommunitySimulator
+from repro.webgraph.generators import (
+    copying_model_graph,
+    preferential_attachment_graph,
+    to_networkx,
+)
+from repro.webgraph.indegree import indegree_popularity, normalized_indegree
+from repro.webgraph.pagerank import pagerank, pagerank_networkx, personalized_pagerank
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        edges = [(0, 1), (1, 2), (2, 0), (0, 2)]
+        scores = pagerank(edges, 3)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_sink_node_attracts_mass(self):
+        # Star graph: everyone links to node 0.
+        edges = [(i, 0) for i in range(1, 6)]
+        scores = pagerank(edges, 6)
+        assert scores[0] == scores.max()
+
+    def test_empty_graph_is_uniform(self):
+        scores = pagerank([], 4)
+        assert np.allclose(scores, 0.25)
+
+    def test_symmetric_cycle_is_uniform(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        scores = pagerank(edges, 4)
+        assert np.allclose(scores, 0.25, atol=1e-6)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(0)
+        n = 40
+        edges = [(int(rng.integers(n)), int(rng.integers(n))) for _ in range(200)]
+        # networkx's DiGraph collapses parallel edges, so compare on a
+        # deduplicated edge set.
+        edges = sorted({(s, t) for s, t in edges if s != t})
+        ours = pagerank(edges, n, damping=0.85)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(edges)
+        theirs_dict = nx.pagerank(graph, alpha=0.85, tol=1e-12, max_iter=500)
+        theirs = np.array([theirs_dict[i] for i in range(n)])
+        assert np.allclose(ours, theirs, atol=1e-6)
+
+    def test_personalized_concentrates_on_seeds(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        scores = personalized_pagerank(edges, 4, seeds=[0])
+        assert scores[0] == scores.max()
+
+    def test_personalized_requires_seeds(self):
+        with pytest.raises(ValueError):
+            personalized_pagerank([(0, 1)], 2, seeds=[])
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(ValueError):
+            pagerank([(0, 5)], 3)
+
+    def test_networkx_wrapper(self):
+        graph = to_networkx([(0, 1), (1, 0)], 2)
+        scores = pagerank_networkx(graph)
+        assert np.allclose(scores, 0.5, atol=1e-6)
+
+
+class TestInDegree:
+    def test_counts(self):
+        edges = [(0, 1), (2, 1), (1, 0)]
+        assert indegree_popularity(edges, 3).tolist() == [1.0, 2.0, 0.0]
+
+    def test_normalized(self):
+        edges = [(0, 1), (2, 1), (1, 0)]
+        assert normalized_indegree(edges, 3).max() == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert normalized_indegree([], 3).sum() == 0.0
+
+
+class TestGenerators:
+    def test_preferential_attachment_basic_shape(self):
+        edges = preferential_attachment_graph(200, out_links=3, rng=0)
+        indegree = indegree_popularity(edges, 200)
+        # Rich-get-richer: the most linked node should far exceed the median.
+        assert indegree.max() >= 5 * max(np.median(indegree), 1.0)
+
+    def test_preferential_attachment_edge_bounds(self):
+        edges = preferential_attachment_graph(50, out_links=2, rng=0)
+        arr = np.asarray(edges)
+        assert arr.min() >= 0 and arr.max() < 50
+
+    def test_copying_model_runs(self):
+        edges = copying_model_graph(100, out_links=4, copy_probability=0.6, rng=1)
+        assert len(edges) > 100
+        arr = np.asarray(edges)
+        assert arr.min() >= 0 and arr.max() < 100
+
+    def test_copying_model_no_self_loops(self):
+        edges = copying_model_graph(80, rng=2)
+        assert all(s != t for s, t in edges)
+
+    def test_generators_reproducible(self):
+        a = preferential_attachment_graph(60, rng=7)
+        b = preferential_attachment_graph(60, rng=7)
+        assert a == b
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(3, seed_nodes=5)
+        with pytest.raises(ValueError):
+            copying_model_graph(3, seed_nodes=5)
+
+    def test_to_networkx_counts(self):
+        graph = to_networkx([(0, 1), (1, 2)], 5)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 2
+
+
+class TestEvolvingWebGraph:
+    def test_add_links_updates_indegree(self):
+        graph = EvolvingWebGraph(n=10)
+        graph.add_links(np.array([3, 3, 5]), rng=0)
+        popularity = graph.popularity()
+        assert popularity[3] == pytest.approx(1.0)
+        assert popularity[5] == pytest.approx(0.5)
+
+    def test_links_follow_visits_and_quality(self):
+        graph = EvolvingWebGraph(n=4, links_per_day=200.0)
+        visits = np.array([100.0, 100.0, 0.0, 0.0])
+        quality = np.array([0.9, 0.01, 0.9, 0.9])
+        graph.create_links_from_visits(visits, quality, rng=0)
+        popularity = graph.popularity()
+        assert popularity[0] == popularity.max()
+
+    def test_no_visits_no_links(self):
+        graph = EvolvingWebGraph(n=4)
+        created = graph.create_links_from_visits(np.zeros(4), np.full(4, 0.5), rng=0)
+        assert created == 0
+
+    def test_retire_pages_drops_links(self):
+        graph = EvolvingWebGraph(n=5)
+        graph.add_links(np.array([1, 1, 2]), rng=0)
+        graph.retire_pages(np.array([1]))
+        assert graph.popularity()[1] == 0.0
+
+    def test_pagerank_signal(self):
+        graph = EvolvingWebGraph(n=5, popularity_signal="pagerank")
+        graph.add_links(np.array([2, 2, 2, 3]), rng=0)
+        popularity = graph.popularity()
+        assert popularity[2] == popularity.max()
+
+    def test_invalid_signal_rejected(self):
+        with pytest.raises(ValueError):
+            EvolvingWebGraph(n=5, popularity_signal="clicks")
+
+
+class TestGraphCommunitySimulator:
+    @pytest.fixture
+    def graph_community(self):
+        return CommunityConfig(
+            n_pages=150, n_users=30, monitored_fraction=0.2,
+            expected_lifetime_days=60.0,
+        )
+
+    def test_run_reports_qpc(self, graph_community):
+        simulator = GraphCommunitySimulator(
+            graph_community, PopularityRanker(), seed=0,
+            graph=EvolvingWebGraph(n=150, links_per_day=30.0),
+        )
+        outcome = simulator.run(warmup_days=20, measure_days=20)
+        assert 0.0 < outcome["qpc_absolute"] <= 0.4
+        assert 0.0 < outcome["qpc_normalized"] <= 1.2
+        assert outcome["links"] > 0
+
+    def test_promotion_ranker_runs_on_graph(self, graph_community):
+        ranker = RandomizedPromotionRanker(SelectivePromotionRule(), k=1, r=0.3)
+        simulator = GraphCommunitySimulator(
+            graph_community, ranker, seed=1,
+            graph=EvolvingWebGraph(n=150, links_per_day=30.0),
+        )
+        outcome = simulator.run(warmup_days=15, measure_days=15)
+        assert outcome["qpc_absolute"] > 0.0
