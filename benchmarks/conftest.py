@@ -1,10 +1,18 @@
 """Benchmark harness configuration.
 
-Each benchmark module regenerates the data behind one figure of the paper.
-By default the drivers run at the ``smoke`` scale so the whole harness
-finishes quickly; set ``REPRO_BENCH_SCALE=fast`` (or ``paper``) to regenerate
-the figures at larger scales, and run with ``pytest -s`` to see the rendered
-series next to the timings.  EXPERIMENTS.md records reference output.
+Each figure benchmark regenerates the data behind one figure of the paper;
+the serving benchmarks drive the online engine under a streaming query
+workload.  By default the drivers run at the ``smoke`` scale so the whole
+harness finishes quickly; set ``REPRO_BENCH_SCALE=fast`` (or ``paper``) to
+regenerate the figures at larger scales, and run with ``pytest -s`` to see
+the rendered series next to the timings.  EXPERIMENTS.md records reference
+output.
+
+All benchmarks report through pytest-benchmark, so one
+``--benchmark-json=out.json`` run produces a single result file: figure
+benchmarks record their scale/seed, serving benchmarks additionally record
+``queries_per_second``, ``cache_hit_rate`` and the full-re-rank speedup in
+each entry's ``extra_info``.
 """
 
 import os
@@ -13,6 +21,24 @@ import pytest
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+#: Serving metrics copied into pytest-benchmark ``extra_info`` (and thus the
+#: shared ``--benchmark-json`` output) when present in a stats dictionary.
+SERVING_INFO_KEYS = (
+    "n_pages_total",
+    "k",
+    "queries",
+    "queries_per_second",
+    "latency_seconds",
+    "baseline_latency_seconds",
+    "speedup_vs_full_rank",
+    "cache_hit_rate",
+    "cache_hits",
+    "cache_misses",
+    "cache_stale_evictions",
+    "feedback_events",
+    "flushes",
+)
 
 
 @pytest.fixture(scope="session")
@@ -32,6 +58,27 @@ def run_experiment_once(benchmark, driver, scale, seed, **kwargs):
     result = benchmark.pedantic(
         lambda: driver(scale=scale, seed=seed, **kwargs), iterations=1, rounds=1
     )
+    benchmark.extra_info.update({"scale": scale, "seed": seed})
     print()
     print(result.render())
     return result
+
+
+def run_serving_once(benchmark, driver, **kwargs):
+    """Run a serving benchmark once; emit its metrics into the JSON output.
+
+    ``driver`` must return a flat metrics dictionary (as
+    :func:`repro.serving.bench.run_serving_benchmark` does); the serving
+    keys land in the benchmark entry's ``extra_info`` so queries/sec and
+    cache hit rate appear in the same ``--benchmark-json`` file as the
+    figure benchmarks.
+    """
+    report = benchmark.pedantic(lambda: driver(**kwargs), iterations=1, rounds=1)
+    benchmark.extra_info.update(
+        {key: report[key] for key in SERVING_INFO_KEYS if key in report}
+    )
+    print()
+    for key in SERVING_INFO_KEYS:
+        if key in report:
+            print("%s: %s" % (key, report[key]))
+    return report

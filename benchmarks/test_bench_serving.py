@@ -1,0 +1,61 @@
+"""Benchmark: online serving engine vs full re-rank, across community sizes.
+
+Measures queries/sec and cache hit rate of the sharded serving path at
+n_pages in {2k, 20k, 200k}, and checks the headline claim: per-query
+``top_k`` latency stays roughly flat while the full-re-rank baseline grows
+with n log n, so the speedup must widen with community size — at least 5x
+at 200k pages with k = 20.
+"""
+
+import pytest
+
+from repro.serving.bench import run_serving_benchmark
+
+from conftest import run_serving_once
+
+COMMUNITY_SIZES = (2_000, 20_000, 200_000)
+
+
+@pytest.mark.parametrize("n_pages", COMMUNITY_SIZES)
+def test_bench_serving_topk(benchmark, bench_seed, n_pages):
+    report = run_serving_once(
+        benchmark,
+        run_serving_benchmark,
+        n_pages=n_pages,
+        n_queries=1_000,
+        k=20,
+        n_shards=4,
+        cache_capacity=64,
+        staleness_budget=4,
+        feedback_rate=0.2,
+        baseline_queries=10,
+        seed=bench_seed,
+    )
+    assert report["queries"] == 1_000
+    assert report["queries_per_second"] > 0
+    assert 0.0 <= report["cache_hit_rate"] <= 1.0
+    # The serving path must beat one-full-rank-per-query decisively once the
+    # community is large; at the paper-plus scale the bar is 5x (observed
+    # speedups are orders of magnitude higher, so this is a regression floor,
+    # not a tight fit).
+    if n_pages >= 200_000:
+        assert report["speedup_vs_full_rank"] >= 5.0
+
+
+def test_bench_serving_cache_effect(benchmark, bench_seed):
+    """Caching off: every query recomputes, hit rate is exactly zero."""
+    report = run_serving_once(
+        benchmark,
+        run_serving_benchmark,
+        n_pages=20_000,
+        n_queries=500,
+        k=20,
+        n_shards=4,
+        cache_capacity=None,
+        staleness_budget=0,
+        feedback_rate=0.2,
+        baseline_queries=5,
+        seed=bench_seed,
+    )
+    assert report["cache_hit_rate"] == 0.0
+    assert report["queries_per_second"] > 0

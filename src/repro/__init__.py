@@ -19,6 +19,28 @@ Quickstart::
     print(measure_qpc(community, policy, SimulationConfig(warmup_days=200,
                                                           measure_days=200,
                                                           mode="fluid")))
+
+Serving-path quickstart — answer a stream of queries online instead of
+re-ranking the whole community per simulated day::
+
+    from repro import (
+        CommunityConfig, RankPromotionPolicy, ShardedRouter,
+        StreamingWorkload, WorkloadConfig, run_stream,
+    )
+
+    community = CommunityConfig(n_pages=20_000, n_users=2_000)
+    policy = RankPromotionPolicy(rule="selective", k=1, r=0.1)
+    router = ShardedRouter.from_community(
+        community, policy, n_shards=4,
+        cache_capacity=64, staleness_budget=4, seed=0,
+    )
+    workload = StreamingWorkload(WorkloadConfig(k=10, feedback_rate=0.2), seed=1)
+    stats = run_stream(router, n_queries=10_000, workload=workload)
+    print(stats.queries_per_second, stats.extra["cache_hit_rate"])
+
+Or benchmark it against the full-re-rank baseline from the terminal::
+
+    python -m repro serve-bench --pages 200000 --queries 5000 --shards 8
 """
 
 from repro.community import (
@@ -50,9 +72,20 @@ from repro.simulation import (
     measure_tbp,
     popularity_trajectory,
 )
+from repro.serving import (
+    PopularityState,
+    ResultPageCache,
+    ServingEngine,
+    ServingStats,
+    ShardedRouter,
+    StreamingWorkload,
+    WorkloadConfig,
+    run_serving_benchmark,
+    run_stream,
+)
 from repro.visits import MixedSurfingModel, PowerLawAttention
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CommunityConfig",
@@ -83,6 +116,15 @@ __all__ = [
     "measure_tbp",
     "popularity_trajectory",
     "compare_policies",
+    "PopularityState",
+    "ServingEngine",
+    "ResultPageCache",
+    "ShardedRouter",
+    "StreamingWorkload",
+    "WorkloadConfig",
+    "ServingStats",
+    "run_stream",
+    "run_serving_benchmark",
     "MixedSurfingModel",
     "PowerLawAttention",
     "__version__",

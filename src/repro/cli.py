@@ -5,10 +5,14 @@ Examples::
     python -m repro list
     python -m repro figure5 --scale fast --seed 3
     python -m repro figure7a --scale paper
+    python -m repro serve-bench --pages 200000 --queries 5000 --shards 8
     repro figure1
 
 Each experiment prints the same rows/series the corresponding paper figure
-reports, as an ASCII table, plus shape-check notes.
+reports, as an ASCII table, plus shape-check notes.  ``serve-bench`` runs
+the online serving engine under a streaming query workload and reports
+throughput, latency and cache effectiveness against the full-re-rank
+baseline.
 """
 
 from __future__ import annotations
@@ -33,7 +37,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment to run (one of: list, %s)" % ", ".join(list_experiments()),
+        help="experiment to run (one of: list, serve-bench, %s)"
+        % ", ".join(list_experiments()),
     )
     parser.add_argument(
         "--scale",
@@ -43,7 +48,63 @@ def build_parser() -> argparse.ArgumentParser:
         "'fast' a proportionally scaled-down one, 'smoke' a tiny sanity run",
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
+
+    serving = parser.add_argument_group("serve-bench options")
+    serving.add_argument(
+        "--pages", type=int, default=20_000, help="total pages across all shards"
+    )
+    serving.add_argument(
+        "--queries", type=int, default=2_000, help="number of queries to stream"
+    )
+    serving.add_argument("--k", type=int, default=20, help="result-page length")
+    serving.add_argument(
+        "--shards", type=int, default=4, help="number of community shards"
+    )
+    serving.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        help="result pages cached per shard; 0 disables caching",
+    )
+    serving.add_argument(
+        "--staleness-budget",
+        type=int,
+        default=4,
+        help="state versions a cached page may lag before invalidation",
+    )
+    serving.add_argument(
+        "--feedback-rate",
+        type=float,
+        default=0.2,
+        help="probability a served query feeds one visit back",
+    )
     return parser
+
+
+def run_serve_bench(args: argparse.Namespace) -> int:
+    """Run the serving benchmark and print its metrics table."""
+    from repro.serving.bench import run_serving_benchmark
+    from repro.utils.tables import Table
+
+    report = run_serving_benchmark(
+        n_pages=args.pages,
+        n_queries=args.queries,
+        k=args.k,
+        n_shards=args.shards,
+        cache_capacity=args.cache_size if args.cache_size > 0 else None,
+        staleness_budget=args.staleness_budget,
+        feedback_rate=args.feedback_rate,
+        seed=args.seed,
+    )
+    table = Table(
+        ["metric", "value"],
+        title="serve-bench — online serving vs full re-rank (n=%d, k=%d, shards=%d)"
+        % (args.pages, args.k, args.shards),
+    )
+    for key in sorted(report):
+        table.add_row(key, report[key])
+    print(table.render())
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -55,6 +116,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in list_experiments():
             print(name)
         return 0
+
+    if args.experiment == "serve-bench":
+        started = time.time()
+        code = run_serve_bench(args)
+        print()
+        print("completed serve-bench in %.1fs" % (time.time() - started))
+        return code
 
     try:
         driver = get_experiment(args.experiment)

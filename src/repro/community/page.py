@@ -173,4 +173,38 @@ class PagePool:
         return cls(qualities, config.n_monitored_users)
 
 
-__all__ = ["Page", "PagePool"]
+def awareness_gain(
+    aware_count: np.ndarray,
+    monitored_population: int,
+    monitored_visits: np.ndarray,
+    mode: str = "fluid",
+    rng: RandomSource = None,
+) -> np.ndarray:
+    """Newly-aware monitored users per page after one batch of visits.
+
+    A page receiving ``v`` monitored visits converts each of its unaware
+    monitored users independently with probability ``1 - (1 - 1/m)**v`` —
+    the chance that user appeared among the batch's visitors.  ``fluid``
+    returns the expectation, ``stochastic`` a binomial sample.  Both the
+    day-stepped :class:`~repro.simulation.engine.Simulator` and the online
+    serving state funnel their awareness updates through this function so
+    the two paths stay in exact agreement.
+    """
+    aware_count = np.asarray(aware_count, dtype=float)
+    monitored_visits = np.asarray(monitored_visits, dtype=float)
+    m = monitored_population
+    visited = monitored_visits > 0
+    if not np.any(visited):
+        return np.zeros_like(aware_count)
+    unaware = m - aware_count
+    p_new = 1.0 - (1.0 - 1.0 / m) ** monitored_visits
+    if mode == "fluid":
+        return unaware * p_new
+    gained = np.zeros(aware_count.size)
+    idx = np.flatnonzero(visited & (unaware > 0))
+    if idx.size:
+        gained[idx] = as_rng(rng).binomial(unaware[idx].astype(int), p_new[idx])
+    return gained
+
+
+__all__ = ["Page", "PagePool", "awareness_gain"]

@@ -9,6 +9,8 @@ reports the awareness histogram of the highest-quality pages.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis.spec import RankingSpec
@@ -21,7 +23,7 @@ from repro.utils.rng import RandomSource
 def run(
     scale: str = "fast",
     seed: RandomSource = 0,
-    quality: float = None,
+    quality: Optional[float] = None,
     r: float = 0.2,
     k: int = 1,
     bins: int = 10,

@@ -15,7 +15,7 @@ deterministic ranking is largest for big, slow-visit, high-churn communities.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.community.config import CommunityConfig
 from repro.core.policy import RankPromotionPolicy
@@ -60,7 +60,7 @@ def _measure_point(
 def run_community_size(
     scale: str = "fast",
     seed: RandomSource = 0,
-    sizes: Sequence[int] = None,
+    sizes: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
     """Panel (a): QPC vs community size n."""
     settings = scaled_settings(scale)

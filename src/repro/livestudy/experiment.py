@@ -112,7 +112,7 @@ class LiveStudyResult:
 class LiveStudyExperiment:
     """Runs the simulated two-group study."""
 
-    def __init__(self, config: LiveStudyConfig = None, seed: RandomSource = None) -> None:
+    def __init__(self, config: Optional[LiveStudyConfig] = None, seed: RandomSource = None) -> None:
         self.config = config or LiveStudyConfig()
         self._seed = seed
 

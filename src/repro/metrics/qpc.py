@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Optional
+
 import numpy as np
 
 from repro.visits.attention import AttentionModel, PowerLawAttention
@@ -30,7 +32,7 @@ def qpc_from_visits(visits: np.ndarray, quality: np.ndarray) -> float:
     return float(np.dot(visits, quality) / total)
 
 
-def ideal_qpc(quality: np.ndarray, attention: AttentionModel = None) -> float:
+def ideal_qpc(quality: np.ndarray, attention: Optional[AttentionModel] = None) -> float:
     """QPC achieved by ranking pages in descending order of quality.
 
     This is the normalization constant for the paper's "normalized QPC": the
@@ -44,7 +46,7 @@ def ideal_qpc(quality: np.ndarray, attention: AttentionModel = None) -> float:
 
 
 def normalized_qpc(
-    absolute_qpc: float, quality: np.ndarray, attention: AttentionModel = None
+    absolute_qpc: float, quality: np.ndarray, attention: Optional[AttentionModel] = None
 ) -> float:
     """Normalize an absolute QPC value by the quality-ordered ideal."""
     ideal = ideal_qpc(quality, attention)

@@ -1,0 +1,48 @@
+"""Online ranking service: incremental serving over the paper's model.
+
+Where the :mod:`repro.simulation` package recomputes a full ranking per
+simulated day, this package answers a *stream of queries*:
+
+* :class:`PopularityState` — versioned per-page popularity updated in
+  O(batch) from visit feedback;
+* :class:`ServingEngine` — lazy ``top_k`` serving with an incrementally
+  repaired popularity order and prefix-only randomized promotion;
+* :class:`ResultPageCache` — version-stamped LRU result pages with
+  optimistic validate-on-read invalidation;
+* :class:`ShardedRouter` — hashes queries across community shards and
+  batches feedback application;
+* :class:`StreamingWorkload` / :func:`run_stream` — Zipf-skewed query
+  traffic with click feedback for end-to-end driving;
+* :func:`run_serving_benchmark` — the ``serve-bench`` driver.
+
+The exact offline semantics stay reachable through
+:func:`repro.simulation.replay.replay_day`, which replays a simulator day
+through an engine with bit-identical results.
+"""
+
+from repro.serving.cache import CacheStats, ResultPageCache, page_key
+from repro.serving.engine import ServingEngine
+from repro.serving.router import ShardedRouter, stable_shard_hash
+from repro.serving.state import PopularityState
+from repro.serving.workload import (
+    ServingStats,
+    StreamingWorkload,
+    WorkloadConfig,
+    run_stream,
+)
+from repro.serving.bench import run_serving_benchmark
+
+__all__ = [
+    "PopularityState",
+    "ServingEngine",
+    "ResultPageCache",
+    "CacheStats",
+    "page_key",
+    "ShardedRouter",
+    "stable_shard_hash",
+    "StreamingWorkload",
+    "WorkloadConfig",
+    "ServingStats",
+    "run_stream",
+    "run_serving_benchmark",
+]

@@ -1,0 +1,133 @@
+"""Result-page cache with optimistic, version-stamped invalidation.
+
+Serving the same community/k/policy combination repeatedly would otherwise
+recompute an identical result page per query.  The cache stores each page
+together with the popularity-state ``version`` it was computed at and
+validates on read: if the state has advanced past the entry's version by
+more than ``staleness_budget`` mutation batches, the entry is discarded and
+the caller recomputes.  This is the validate-on-read flavour of optimistic
+concurrency control (Laux & Laiho's versioned-row read pattern) applied to
+cached rankings instead of database rows — readers never block feedback
+writers; they detect conflicting updates after the fact.
+
+A ``staleness_budget`` of zero means strictly fresh pages; a small positive
+budget trades bounded staleness for hit rate, which is the knob the serving
+benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    stale_evictions: int = 0
+    capacity_evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for benchmark/JSON reporting."""
+        return {
+            "cache_hits": float(self.hits),
+            "cache_misses": float(self.misses),
+            "cache_stale_evictions": float(self.stale_evictions),
+            "cache_capacity_evictions": float(self.capacity_evictions),
+            "cache_hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    page: np.ndarray
+    version: int
+
+
+@dataclass
+class ResultPageCache:
+    """LRU cache of served result pages keyed by (community, k, policy).
+
+    Attributes:
+        capacity: maximum number of result pages retained.
+        staleness_budget: maximum number of popularity-state versions an
+            entry may lag behind the current version and still be served.
+    """
+
+    capacity: int = 128
+    staleness_budget: int = 0
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1, got %d" % self.capacity)
+        if self.staleness_budget < 0:
+            raise ValueError("staleness_budget must be non-negative")
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable, current_version: int) -> Optional[np.ndarray]:
+        """Return the cached page for ``key`` if present and fresh enough.
+
+        The validate-on-read step: an entry older than
+        ``current_version - staleness_budget`` is evicted and reported as a
+        miss, forcing the caller to recompute against the new state.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if current_version - entry.version > self.staleness_budget:
+            del self._entries[key]
+            self.stats.stale_evictions += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.page
+
+    def store(self, key: Hashable, page: np.ndarray, version: int) -> None:
+        """Insert/refresh a result page computed at ``version``.
+
+        The page is copied and frozen: cached entries are shared across all
+        future hits, so a caller mutating a served page must not be able to
+        corrupt what other queries receive.
+        """
+        if key in self._entries:
+            del self._entries[key]
+        stored = np.array(page, copy=True)
+        stored.setflags(write=False)
+        self._entries[key] = _Entry(page=stored, version=int(version))
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.capacity_evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (e.g. after a lifecycle day replaces pages)."""
+        self._entries.clear()
+
+
+def page_key(community_tag: Hashable, k: int, policy_tag: Hashable) -> Tuple:
+    """Canonical cache key: which community, page length, and policy."""
+    return (community_tag, int(k), policy_tag)
+
+
+__all__ = ["ResultPageCache", "CacheStats", "page_key"]

@@ -1,0 +1,188 @@
+"""Sharded query router: many communities, one serving front door.
+
+Scaling past a single community means partitioning pages into shards, each
+owned by one :class:`~repro.serving.engine.ServingEngine` with its own
+popularity state, result cache and random stream.  The router:
+
+* hashes every query id to a shard with a stable (process-independent)
+  hash, so a query always lands on the same community;
+* serves the query from that shard's engine/cache;
+* *buffers* visit feedback per shard and applies it in batches — one
+  O(batch) state update and one order repair per flush instead of one per
+  event, which is what keeps the incremental path cheap under heavy
+  feedback traffic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.community.config import CommunityConfig
+from repro.core.policy import RECOMMENDED_POLICY, RankPromotionPolicy
+from repro.serving.cache import CacheStats, ResultPageCache
+from repro.serving.engine import ServingEngine
+from repro.utils.rng import RandomSource, spawn_rngs
+
+
+def stable_shard_hash(query_id: Hashable) -> int:
+    """Deterministic non-negative hash of a query id.
+
+    Python's builtin ``hash`` is salted per process; CRC32 over the repr is
+    stable across runs and machines, which keeps shard assignment (and with
+    it every downstream random stream) reproducible.
+    """
+    return zlib.crc32(repr(query_id).encode("utf-8"))
+
+
+class ShardedRouter:
+    """Routes a query stream over a fleet of community shards."""
+
+    def __init__(self, engines: Sequence[ServingEngine]) -> None:
+        if not engines:
+            raise ValueError("a router needs at least one shard engine")
+        self.engines: List[ServingEngine] = list(engines)
+        self._pending_indices: List[List[int]] = [[] for _ in self.engines]
+        self._pending_visits: List[List[float]] = [[] for _ in self.engines]
+        self.queries_routed = 0
+        self.feedback_buffered = 0
+        self.flushes = 0
+
+    @classmethod
+    def from_community(
+        cls,
+        community: CommunityConfig,
+        policy: RankPromotionPolicy = RECOMMENDED_POLICY,
+        n_shards: int = 1,
+        *,
+        mode: str = "fluid",
+        cache_capacity: Optional[int] = 128,
+        staleness_budget: int = 0,
+        seed: RandomSource = None,
+    ) -> "ShardedRouter":
+        """Partition ``community`` into ``n_shards`` equal communities.
+
+        Each shard keeps the paper's user/page ratios (via
+        :meth:`CommunityConfig.scaled`) and gets an independent child random
+        stream, so shard behaviour is reproducible regardless of query
+        interleaving.  ``cache_capacity=None`` disables caching.
+        """
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1, got %d" % n_shards)
+        if n_shards > community.n_pages:
+            raise ValueError(
+                "n_shards (%d) cannot exceed n_pages (%d)"
+                % (n_shards, community.n_pages)
+            )
+        base, remainder = divmod(community.n_pages, n_shards)
+        rngs = spawn_rngs(seed, n_shards)
+        engines = []
+        for shard, rng in enumerate(rngs):
+            # Spread the remainder over the first shards so the shard total
+            # equals the requested community size exactly.
+            shard_community = community.scaled(base + (1 if shard < remainder else 0))
+            cache = None
+            if cache_capacity is not None:
+                cache = ResultPageCache(
+                    capacity=cache_capacity, staleness_budget=staleness_budget
+                )
+            engines.append(
+                ServingEngine(
+                    shard_community,
+                    policy,
+                    mode=mode,
+                    cache=cache,
+                    name="shard-%d" % shard,
+                    seed=rng,
+                )
+            )
+        return cls(engines)
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def n_shards(self) -> int:
+        """Number of community shards behind the router."""
+        return len(self.engines)
+
+    @property
+    def n_pages(self) -> int:
+        """Total pages across all shards."""
+        return sum(engine.state.n for engine in self.engines)
+
+    def shard_for(self, query_id: Hashable) -> int:
+        """Shard index the query is routed to (stable across runs)."""
+        return stable_shard_hash(query_id) % self.n_shards
+
+    def serve(self, query_id: Hashable, k: int) -> np.ndarray:
+        """Serve the top-``k`` result page for one query."""
+        self.queries_routed += 1
+        return self.engines[self.shard_for(query_id)].serve(k)
+
+    def submit_feedback(
+        self, query_id: Hashable, page_index: int, visits: float = 1.0
+    ) -> None:
+        """Buffer one visit-feedback event for the query's shard."""
+        shard = self.shard_for(query_id)
+        self._pending_indices[shard].append(int(page_index))
+        self._pending_visits[shard].append(float(visits))
+        self.feedback_buffered += 1
+
+    def flush_feedback(self) -> int:
+        """Apply all buffered feedback, one batched update per shard.
+
+        Returns the number of events applied.  Each shard's popularity
+        state advances by at most one version per flush, which is what the
+        cache staleness budget counts against.
+        """
+        applied = 0
+        for shard, engine in enumerate(self.engines):
+            indices = self._pending_indices[shard]
+            if not indices:
+                continue
+            engine.apply_feedback(
+                np.asarray(indices, dtype=int),
+                np.asarray(self._pending_visits[shard]),
+            )
+            applied += len(indices)
+            self._pending_indices[shard] = []
+            self._pending_visits[shard] = []
+        if applied:
+            self.flushes += 1
+        return applied
+
+    def advance_day(self) -> None:
+        """Run one lifecycle day on every shard (buffered feedback first)."""
+        self.flush_feedback()
+        for engine in self.engines:
+            engine.advance_day()
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregate cache counters across shards."""
+        total = CacheStats()
+        for engine in self.engines:
+            if engine.cache is None:
+                continue
+            stats = engine.cache.stats
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.stale_evictions += stats.stale_evictions
+            total.capacity_evictions += stats.capacity_evictions
+        return total
+
+    def stats(self) -> Dict[str, float]:
+        """Routing and cache counters as one flat dictionary."""
+        report = {
+            "n_shards": float(self.n_shards),
+            "n_pages": float(self.n_pages),
+            "queries_routed": float(self.queries_routed),
+            "feedback_buffered": float(self.feedback_buffered),
+            "flushes": float(self.flushes),
+        }
+        report.update(self.cache_stats().as_dict())
+        return report
+
+
+__all__ = ["ShardedRouter", "stable_shard_hash"]

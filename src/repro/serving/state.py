@@ -1,0 +1,180 @@
+"""Incremental popularity store for the online serving path.
+
+The offline :class:`~repro.simulation.engine.Simulator` recomputes the whole
+community's popularity every simulated day.  :class:`PopularityState` keeps
+the same per-page arrays (via a wrapped :class:`~repro.community.PagePool`)
+but is updated *incrementally*: a batch of visit feedback touches only the
+pages that received visits, in O(batch) instead of O(n).
+
+Every mutation bumps a monotone ``version`` counter and records which pages
+changed.  Downstream consumers use the version for optimistic validate-on-
+read (the result-page cache compares its stamp against the current version,
+the OCC pattern of Laux & Laiho) and the dirty set for incremental partial
+re-sorts of the serving order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.community.config import CommunityConfig
+from repro.community.page import PagePool, awareness_gain
+from repro.simulation.config import VALID_MODES
+from repro.utils.rng import RandomSource, as_rng
+
+
+class PopularityState:
+    """Versioned, incrementally-updated popularity state of one community.
+
+    Attributes:
+        pool: the wrapped :class:`~repro.community.PagePool` holding quality,
+            awareness counts, creation times and page identifiers.
+        mode: ``"fluid"`` (expected-value awareness updates) or
+            ``"stochastic"`` (binomial sampling), matching the simulator.
+        version: monotone counter, incremented once per mutation batch.
+    """
+
+    def __init__(self, pool: PagePool, mode: str = "fluid") -> None:
+        if mode not in VALID_MODES:
+            raise ValueError("mode must be one of %s, got %r" % (VALID_MODES, mode))
+        self.pool = pool
+        self.mode = mode
+        self.version = 0
+        self._popularity = pool.popularity  # materialized; updated in place
+        self._dirty_mask = np.zeros(pool.n, dtype=bool)
+
+    @classmethod
+    def from_config(
+        cls,
+        community: CommunityConfig,
+        rng: RandomSource = None,
+        mode: str = "fluid",
+    ) -> "PopularityState":
+        """Build a fresh zero-awareness state for ``community``."""
+        return cls(PagePool.from_config(community, as_rng(rng)), mode=mode)
+
+    # --- Views -------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of page slots."""
+        return self.pool.n
+
+    @property
+    def popularity(self) -> np.ndarray:
+        """Cached popularity vector ``P = A * Q``; do not mutate."""
+        return self._popularity
+
+    @property
+    def quality(self) -> np.ndarray:
+        """Per-page intrinsic quality."""
+        return self.pool.quality
+
+    def staleness(self, version_stamp: int) -> int:
+        """How many mutation batches have landed since ``version_stamp``."""
+        return self.version - int(version_stamp)
+
+    # --- Mutation ----------------------------------------------------------
+
+    def apply_visits_at(
+        self,
+        indices: np.ndarray,
+        visits: np.ndarray,
+        rng: RandomSource = None,
+    ) -> None:
+        """Apply a sparse batch of monitored visits; O(batch) work.
+
+        ``indices`` may contain duplicates (several feedback events for the
+        same page); visit counts are summed per page before the awareness
+        update so the batch is equivalent to one day's worth of those visits
+        landing together.
+        """
+        indices = np.asarray(indices, dtype=int)
+        visits = np.asarray(visits, dtype=float)
+        if indices.shape != visits.shape:
+            raise ValueError("indices and visits must have the same shape")
+        if indices.size == 0:
+            return
+        touched, inverse = np.unique(indices, return_inverse=True)
+        summed = np.zeros(touched.size)
+        np.add.at(summed, inverse, visits)
+
+        pool = self.pool
+        gained = awareness_gain(
+            pool.aware_count[touched],
+            pool.monitored_population,
+            summed,
+            mode=self.mode,
+            rng=rng,
+        )
+        pool.aware_count[touched] = np.minimum(
+            pool.monitored_population, pool.aware_count[touched] + gained
+        )
+        self._mark_changed(touched)
+
+    def apply_visit_feedback(
+        self, monitored_visits: np.ndarray, rng: RandomSource = None
+    ) -> None:
+        """Apply a full per-page visit vector (the day-replay parity path).
+
+        Performs exactly the arithmetic of
+        :meth:`Simulator._update_awareness` — same helper, same argument
+        order — so a replayed day consumes the random stream identically.
+        """
+        pool = self.pool
+        gained = awareness_gain(
+            pool.aware_count,
+            pool.monitored_population,
+            monitored_visits,
+            mode=self.mode,
+            rng=rng,
+        )
+        pool.add_awareness_bulk(gained)
+        self._mark_changed(np.flatnonzero(np.asarray(monitored_visits) > 0))
+
+    def note_replaced(self, indices: np.ndarray) -> None:
+        """Record that the lifecycle replaced ``indices`` in the wrapped pool."""
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            return
+        self._mark_changed(indices)
+
+    def set_awareness(self, aware_count: np.ndarray) -> None:
+        """Overwrite the awareness counts wholesale (synthetic warm states).
+
+        Benchmarks use this to jump straight to a steady-state-like awareness
+        profile without simulating the warm-up.
+        """
+        aware_count = np.asarray(aware_count, dtype=float)
+        if aware_count.shape != (self.n,):
+            raise ValueError("aware_count must have shape (%d,)" % self.n)
+        if np.any((aware_count < 0) | (aware_count > self.pool.monitored_population)):
+            raise ValueError("aware_count values must lie in [0, m]")
+        self.pool.aware_count[:] = aware_count
+        self._mark_changed(np.arange(self.n))
+
+    # --- Dirty tracking ----------------------------------------------------
+
+    def consume_dirty(self) -> np.ndarray:
+        """Return and clear the indices changed since the last consumption.
+
+        Single-consumer protocol: the serving engine that maintains the
+        sorted order calls this when repairing; anything else should rely on
+        ``version`` alone.
+        """
+        dirty = np.flatnonzero(self._dirty_mask)
+        self._dirty_mask[:] = False
+        return dirty
+
+    def _mark_changed(self, indices: np.ndarray) -> None:
+        pool = self.pool
+        self._popularity[indices] = (
+            pool.aware_count[indices] / pool.monitored_population
+        ) * pool.quality[indices]
+        self._dirty_mask[indices] = True
+        self.version += 1
+
+
+__all__ = ["PopularityState"]

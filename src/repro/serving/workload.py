@@ -1,0 +1,162 @@
+"""Streaming query workload for driving the serving engine end-to-end.
+
+Real query traffic is heavily skewed: a few head queries repeat constantly
+while a long tail appears once.  The generator models that with a Zipfian
+distribution over a fixed universe of distinct query ids; each served query
+then produces monitored-visit feedback with a configurable rate, with the
+clicked position drawn from the same rank-attention law the simulator uses
+(power-law by default) — closing the popularity feedback loop the paper is
+about, but per query instead of per simulated day.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.serving.router import ShardedRouter
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import check_positive_int, check_probability
+from repro.visits.attention import AttentionModel, PowerLawAttention
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of the streaming query workload.
+
+    Attributes:
+        n_distinct_queries: size of the query universe.
+        zipf_exponent: skew of query popularity (0 = uniform traffic).
+        k: result-page length requested by every query.
+        feedback_rate: probability a served query produces one monitored
+            visit (a click) fed back into the popularity state.
+        flush_every: number of queries between feedback batch flushes.
+    """
+
+    n_distinct_queries: int = 1_000
+    zipf_exponent: float = 1.1
+    k: int = 10
+    feedback_rate: float = 0.2
+    flush_every: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_distinct_queries", self.n_distinct_queries)
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be non-negative")
+        check_positive_int("k", self.k)
+        check_probability("feedback_rate", self.feedback_rate)
+        check_positive_int("flush_every", self.flush_every)
+
+
+class StreamingWorkload:
+    """Generates a reproducible Zipf-skewed stream of query ids."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None, seed: RandomSource = None):
+        self.config = config or WorkloadConfig()
+        self.rng = as_rng(seed)
+        weights = np.arange(1, self.config.n_distinct_queries + 1, dtype=float) ** (
+            -self.config.zipf_exponent
+        )
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    def sample_queries(self, count: int) -> np.ndarray:
+        """Draw ``count`` query ids (ints in ``[0, n_distinct_queries)``)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.searchsorted(self._cdf, self.rng.random(count), side="right")
+
+    def stream(self, count: int) -> Iterator[int]:
+        """Iterate over ``count`` query ids, drawn in blocks."""
+        block = 4096
+        remaining = count
+        while remaining > 0:
+            for query_id in self.sample_queries(min(block, remaining)):
+                yield int(query_id)
+            remaining -= min(block, remaining)
+
+
+@dataclass
+class ServingStats:
+    """Outcome of one streaming run against a router."""
+
+    queries: int = 0
+    elapsed_seconds: float = 0.0
+    feedback_events: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Served query throughput."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.queries / self.elapsed_seconds
+
+    @property
+    def latency_seconds(self) -> float:
+        """Mean per-query wall time."""
+        return self.elapsed_seconds / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for benchmark/JSON reporting."""
+        report = {
+            "queries": float(self.queries),
+            "elapsed_seconds": self.elapsed_seconds,
+            "queries_per_second": self.queries_per_second,
+            "latency_seconds": self.latency_seconds,
+            "feedback_events": float(self.feedback_events),
+        }
+        report.update(self.extra)
+        return report
+
+
+def run_stream(
+    router: ShardedRouter,
+    n_queries: int,
+    workload: Optional[StreamingWorkload] = None,
+    attention: Optional[AttentionModel] = None,
+    seed: RandomSource = None,
+) -> ServingStats:
+    """Drive ``n_queries`` through the router and report serving statistics.
+
+    Each query is served from its shard; with probability ``feedback_rate``
+    the "user" clicks one result, with the clicked rank drawn from the
+    attention model over the ``k`` visible positions, and the visit is
+    buffered as feedback.  Buffers are flushed every ``flush_every``
+    queries and once at the end.
+    """
+    if n_queries < 0:
+        raise ValueError("n_queries must be non-negative, got %d" % n_queries)
+    if workload is not None and seed is not None:
+        raise ValueError(
+            "pass seed either to the workload or to run_stream, not both: "
+            "a provided workload already carries its own random stream"
+        )
+    if workload is None:
+        workload = StreamingWorkload(seed=seed)
+    config = workload.config
+    attention = attention or PowerLawAttention()
+    click_cdf = np.cumsum(attention.visit_shares(config.k))
+    rng = workload.rng
+
+    stats = ServingStats()
+    started = time.perf_counter()
+    for served, query_id in enumerate(workload.stream(n_queries), start=1):
+        page = router.serve(query_id, config.k)
+        if config.feedback_rate > 0 and rng.random() < config.feedback_rate:
+            position = int(np.searchsorted(click_cdf, rng.random(), side="right"))
+            position = min(position, page.size - 1)
+            router.submit_feedback(query_id, int(page[position]))
+            stats.feedback_events += 1
+        if served % config.flush_every == 0:
+            router.flush_feedback()
+    router.flush_feedback()
+    stats.elapsed_seconds = time.perf_counter() - started
+    stats.queries = n_queries
+    stats.extra.update(router.stats())
+    return stats
+
+
+__all__ = ["WorkloadConfig", "StreamingWorkload", "ServingStats", "run_stream"]

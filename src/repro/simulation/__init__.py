@@ -23,6 +23,7 @@ from repro.simulation.observers import (
     QPCObserver,
     TrackedPageObserver,
 )
+from repro.simulation.replay import replay_day
 from repro.simulation.result import SimulationResult
 from repro.simulation.runner import (
     compare_policies,
@@ -43,4 +44,5 @@ __all__ = [
     "measure_tbp",
     "popularity_trajectory",
     "compare_policies",
+    "replay_day",
 ]

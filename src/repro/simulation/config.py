@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -36,8 +37,8 @@ class SimulationConfig:
     warmup_days: int = 1600
     measure_days: int = 1100
     mode: str = "stochastic"
-    seed: object = None
-    probe_quality: float = None
+    seed: Optional[object] = None
+    probe_quality: Optional[float] = None
     probe_horizon_days: int = 500
     snapshot_awareness: bool = True
 

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.community.config import CommunityConfig
 from repro.community.lifecycle import Lifecycle, PoissonLifecycle
-from repro.community.page import PagePool
+from repro.community.page import PagePool, awareness_gain
 from repro.core.rankers import Ranker
 from repro.core.rankers_context import RankingContext
 from repro.metrics.tbp import tbp_from_trajectory
@@ -33,6 +33,7 @@ from repro.simulation.observers import (
 )
 from repro.simulation.result import SimulationResult
 from repro.utils.rng import as_rng
+from repro.visits.allocation import allocate_monitored_visits, rank_visit_shares
 from repro.visits.attention import AttentionModel, PowerLawAttention
 from repro.visits.surfing import MixedSurfingModel
 
@@ -44,10 +45,10 @@ class Simulator:
         self,
         community: CommunityConfig,
         ranker: Ranker,
-        config: SimulationConfig = None,
-        attention: AttentionModel = None,
-        surfing: MixedSurfingModel = None,
-        lifecycle: Lifecycle = None,
+        config: Optional[SimulationConfig] = None,
+        attention: Optional[AttentionModel] = None,
+        surfing: Optional[MixedSurfingModel] = None,
+        lifecycle: Optional[Lifecycle] = None,
         history_length: int = 0,
         observers: Sequence[Observer] = (),
     ) -> None:
@@ -132,14 +133,9 @@ class Simulator:
         )
         ranking = self.ranker.rank(context, self._rng)
 
-        shares_by_rank = self.attention.visit_shares(pool.n)
-        shares_by_page = np.empty(pool.n, dtype=float)
-        shares_by_page[ranking] = shares_by_rank
-        if not self.surfing.is_pure_search:
-            surf_shares = self.surfing.surfing_shares(pool.popularity)
-            x = self.surfing.surfing_fraction
-            shares_by_page = (1.0 - x) * shares_by_page + x * surf_shares
-
+        shares_by_page = rank_visit_shares(
+            ranking, self.attention, self.surfing, pool.popularity
+        )
         monitored_visits = self._allocate_monitored(shares_by_page)
         visits_all_users = shares_by_page * self.community.total_visit_rate
 
@@ -152,33 +148,22 @@ class Simulator:
     # ------------------------------------------------------------ internals
 
     def _allocate_monitored(self, shares_by_page: np.ndarray) -> np.ndarray:
-        rate = self.community.monitored_visit_rate
-        if self.config.mode == "fluid":
-            return shares_by_page * rate
-        count = int(round(rate))
-        if count <= 0:
-            return np.zeros_like(shares_by_page)
-        normalized = shares_by_page / shares_by_page.sum()
-        return self._rng.multinomial(count, normalized).astype(float)
+        return allocate_monitored_visits(
+            shares_by_page,
+            self.community.monitored_visit_rate,
+            self.config.mode,
+            self._rng,
+        )
 
     def _update_awareness(self, monitored_visits: np.ndarray) -> None:
         pool = self.pool
-        m = pool.monitored_population
-        visited = monitored_visits > 0
-        if not np.any(visited):
-            return
-        unaware = m - pool.aware_count
-        # Probability that a given unaware user was among the day's visitors.
-        p_new = 1.0 - (1.0 - 1.0 / m) ** monitored_visits
-        if self.config.mode == "fluid":
-            gained = unaware * p_new
-        else:
-            gained = np.zeros(pool.n)
-            idx = np.flatnonzero(visited & (unaware > 0))
-            if idx.size:
-                gained[idx] = self._rng.binomial(
-                    unaware[idx].astype(int), p_new[idx]
-                )
+        gained = awareness_gain(
+            pool.aware_count,
+            pool.monitored_population,
+            monitored_visits,
+            mode=self.config.mode,
+            rng=self._rng,
+        )
         pool.add_awareness_bulk(gained)
 
     def _push_history(self, popularity: np.ndarray) -> None:

@@ -1,0 +1,53 @@
+"""Parity adapter: replay a simulator day through the serving engine.
+
+:func:`replay_day` performs exactly the sequence of
+:meth:`Simulator.step <repro.simulation.engine.Simulator.step>` — full
+ranking, attention shares, optional surfing blend, monitored-visit
+allocation, awareness update, lifecycle — but against a
+:class:`~repro.serving.engine.ServingEngine`'s incremental state, consuming
+the engine's random stream in the same order the simulator consumes its
+own.  Every parity-critical computation is shared code, not a copy: the
+share blend and visit allocation live in :mod:`repro.visits.allocation`
+and the awareness update in :func:`repro.community.page.awareness_gain`,
+each called by both paths.  An engine and a simulator built from equal
+seeds therefore produce bit-identical visit allocations day after day,
+which is what the serving parity tests assert; any drift between the
+online and offline paths shows up as a hard array mismatch rather than a
+statistical anomaly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.engine import ServingEngine
+from repro.visits.allocation import allocate_monitored_visits, rank_visit_shares
+
+
+def replay_day(engine: ServingEngine) -> np.ndarray:
+    """Advance the engine by one full simulated day.
+
+    Returns the all-user visit vector for the day, exactly as
+    :meth:`Simulator.step` would.  The engine's result cache, if any, is
+    neither consulted nor updated — replay is the ground-truth path.
+    """
+    state = engine.state
+    pool = state.pool
+    rng = engine.rng
+    community = engine.community
+
+    ranking = engine.rank_all()
+    shares_by_page = rank_visit_shares(
+        ranking, engine.attention, engine.surfing, pool.popularity
+    )
+    monitored_visits = allocate_monitored_visits(
+        shares_by_page, community.monitored_visit_rate, state.mode, rng
+    )
+    visits_all_users = shares_by_page * community.total_visit_rate
+
+    state.apply_visit_feedback(monitored_visits, rng=rng)
+    engine.advance_day()
+    return visits_all_users
+
+
+__all__ = ["replay_day"]

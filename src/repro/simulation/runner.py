@@ -25,8 +25,8 @@ def _run_once(
     community: CommunityConfig,
     policy: RankPromotionPolicy,
     config: SimulationConfig,
-    attention: AttentionModel = None,
-    surfing: MixedSurfingModel = None,
+    attention: Optional[AttentionModel] = None,
+    surfing: Optional[MixedSurfingModel] = None,
     rng: RandomSource = None,
 ) -> SimulationResult:
     simulator = Simulator(
@@ -42,9 +42,9 @@ def _run_once(
 def measure_qpc(
     community: CommunityConfig,
     policy: RankPromotionPolicy,
-    config: SimulationConfig = None,
-    attention: AttentionModel = None,
-    surfing: MixedSurfingModel = None,
+    config: Optional[SimulationConfig] = None,
+    attention: Optional[AttentionModel] = None,
+    surfing: Optional[MixedSurfingModel] = None,
     repetitions: int = 1,
     seed: RandomSource = None,
 ) -> Dict[str, float]:
@@ -69,7 +69,7 @@ def measure_tbp(
     community: CommunityConfig,
     policy: RankPromotionPolicy,
     probe_quality: float = 0.4,
-    config: SimulationConfig = None,
+    config: Optional[SimulationConfig] = None,
     repetitions: int = 1,
     seed: RandomSource = None,
 ) -> Dict[str, float]:
@@ -111,7 +111,7 @@ def popularity_trajectory(
     policy: RankPromotionPolicy,
     probe_quality: float = 0.4,
     horizon_days: int = 500,
-    config: SimulationConfig = None,
+    config: Optional[SimulationConfig] = None,
     repetitions: int = 1,
     seed: RandomSource = None,
 ) -> np.ndarray:
@@ -148,9 +148,9 @@ def popularity_trajectory(
 def compare_policies(
     community: CommunityConfig,
     policies: Dict[str, RankPromotionPolicy],
-    config: SimulationConfig = None,
-    attention: AttentionModel = None,
-    surfing: MixedSurfingModel = None,
+    config: Optional[SimulationConfig] = None,
+    attention: Optional[AttentionModel] = None,
+    surfing: Optional[MixedSurfingModel] = None,
     repetitions: int = 1,
     seed: RandomSource = None,
 ) -> Dict[str, Dict[str, float]]:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 import numpy as np
 
 from repro.visits.attention import AttentionModel, PowerLawAttention
@@ -12,7 +14,7 @@ from repro.utils.validation import check_positive
 
 
 def expected_visits_by_rank(
-    n: int, total_visits: float, attention: AttentionModel = None
+    n: int, total_visits: float, attention: Optional[AttentionModel] = None
 ) -> np.ndarray:
     """Expected visits per rank position (rank 1 first).
 
@@ -27,7 +29,7 @@ def expected_visits_by_rank(
 def allocate_visits(
     ranking: np.ndarray,
     total_visits: float,
-    attention: AttentionModel = None,
+    attention: Optional[AttentionModel] = None,
 ) -> np.ndarray:
     """Return expected visits per *page index* given a ranking.
 
@@ -43,6 +45,53 @@ def allocate_visits(
     return by_page
 
 
+def rank_visit_shares(
+    ranking: np.ndarray,
+    attention: AttentionModel,
+    surfing=None,
+    popularity: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-page visit shares for a ranking, with optional surfing blend.
+
+    This is the share computation of one simulated day: attention shares by
+    rank scattered to page indices, then mixed with popularity-proportional
+    surfing traffic when a :class:`~repro.visits.surfing.MixedSurfingModel`
+    with non-zero surfing fraction is given.  Both the day-stepped simulator
+    and the serving replay adapter call this single implementation so their
+    visit allocations agree bit for bit.
+    """
+    ranking = np.asarray(ranking, dtype=int)
+    n = ranking.size
+    shares_by_rank = attention.visit_shares(n)
+    shares_by_page = np.empty(n, dtype=float)
+    shares_by_page[ranking] = shares_by_rank
+    if surfing is not None and not surfing.is_pure_search:
+        surf_shares = surfing.surfing_shares(popularity)
+        x = surfing.surfing_fraction
+        shares_by_page = (1.0 - x) * shares_by_page + x * surf_shares
+    return shares_by_page
+
+
+def allocate_monitored_visits(
+    shares_by_page: np.ndarray,
+    rate: float,
+    mode: str,
+    rng: RandomSource = None,
+) -> np.ndarray:
+    """Monitored visits per page for one day: expected or multinomial-sampled.
+
+    Shared by :meth:`Simulator.step` and the replay adapter (same parity
+    contract as :func:`rank_visit_shares`).
+    """
+    if mode == "fluid":
+        return shares_by_page * rate
+    count = int(round(rate))
+    if count <= 0:
+        return np.zeros_like(shares_by_page)
+    normalized = shares_by_page / shares_by_page.sum()
+    return as_rng(rng).multinomial(count, normalized).astype(float)
+
+
 @dataclass
 class VisitAllocator:
     """Distributes daily visits over a ranking, in expectation or by sampling.
@@ -54,7 +103,7 @@ class VisitAllocator:
     """
 
     total_visits: float
-    attention: AttentionModel = None
+    attention: Optional[AttentionModel] = None
 
     def __post_init__(self) -> None:
         check_positive("total_visits", self.total_visits)
@@ -78,4 +127,10 @@ class VisitAllocator:
         return by_page
 
 
-__all__ = ["VisitAllocator", "allocate_visits", "expected_visits_by_rank"]
+__all__ = [
+    "VisitAllocator",
+    "allocate_visits",
+    "expected_visits_by_rank",
+    "rank_visit_shares",
+    "allocate_monitored_visits",
+]

@@ -18,7 +18,7 @@ paper's model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -137,8 +137,8 @@ class GraphCommunitySimulator:
         self,
         community: CommunityConfig,
         ranker: Ranker,
-        graph: EvolvingWebGraph = None,
-        attention: AttentionModel = None,
+        graph: Optional[EvolvingWebGraph] = None,
+        attention: Optional[AttentionModel] = None,
         seed: RandomSource = None,
     ) -> None:
         self.community = community
