@@ -64,6 +64,25 @@ def run_experiment_once(benchmark, driver, scale, seed, **kwargs):
     return result
 
 
+def run_report_once(benchmark, driver, info_keys, **kwargs):
+    """Run a metrics-dict benchmark driver once; emit its metrics.
+
+    ``driver`` must return a flat metrics dictionary; the keys named in
+    ``info_keys`` land in the benchmark entry's ``extra_info`` so they
+    appear in the shared ``--benchmark-json`` output, and are printed for
+    ``pytest -s`` runs.
+    """
+    report = benchmark.pedantic(lambda: driver(**kwargs), iterations=1, rounds=1)
+    benchmark.extra_info.update(
+        {key: report[key] for key in info_keys if key in report}
+    )
+    print()
+    for key in info_keys:
+        if key in report:
+            print("%s: %s" % (key, report[key]))
+    return report
+
+
 def run_serving_once(benchmark, driver, **kwargs):
     """Run a serving benchmark once; emit its metrics into the JSON output.
 
@@ -73,12 +92,4 @@ def run_serving_once(benchmark, driver, **kwargs):
     cache hit rate appear in the same ``--benchmark-json`` file as the
     figure benchmarks.
     """
-    report = benchmark.pedantic(lambda: driver(**kwargs), iterations=1, rounds=1)
-    benchmark.extra_info.update(
-        {key: report[key] for key in SERVING_INFO_KEYS if key in report}
-    )
-    print()
-    for key in SERVING_INFO_KEYS:
-        if key in report:
-            print("%s: %s" % (key, report[key]))
-    return report
+    return run_report_once(benchmark, driver, SERVING_INFO_KEYS, **kwargs)

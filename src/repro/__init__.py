@@ -64,6 +64,7 @@ from repro.core import (
 from repro.analysis import RankingSpec, SolvedModel, SteadyStateSolver, solve_model
 from repro.metrics import ideal_qpc, normalized_qpc, time_to_become_popular
 from repro.simulation import (
+    BatchSimulator,
     SimulationConfig,
     SimulationResult,
     Simulator,
@@ -71,6 +72,7 @@ from repro.simulation import (
     measure_qpc,
     measure_tbp,
     popularity_trajectory,
+    run_batch,
 )
 from repro.serving import (
     PopularityState,
@@ -85,7 +87,7 @@ from repro.serving import (
 )
 from repro.visits import MixedSurfingModel, PowerLawAttention
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CommunityConfig",
@@ -110,6 +112,8 @@ __all__ = [
     "normalized_qpc",
     "time_to_become_popular",
     "Simulator",
+    "BatchSimulator",
+    "run_batch",
     "SimulationConfig",
     "SimulationResult",
     "measure_qpc",

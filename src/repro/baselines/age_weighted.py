@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.rankers import Ranker, _deterministic_order
 from repro.core.rankers_context import RankingContext
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive
 
 
@@ -48,7 +48,7 @@ class AgeWeightedRanker(Ranker):
             raise ValueError("AgeWeightedRanker requires page ages in the context")
         ramp = 1.0 - np.exp(-np.asarray(context.ages, dtype=float) / self.tau_days)
         scores = context.popularity / (ramp + self.epsilon)
-        return _deterministic_order(scores, context.ages)
+        return _deterministic_order(scores, context.ages, rng=as_rng(rng))
 
     def describe(self) -> str:
         return "Age-weighted popularity (tau=%.0f days)" % self.tau_days

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.rankers import Ranker, _deterministic_order
 from repro.core.rankers_context import RankingContext
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive
 
 
@@ -43,7 +43,7 @@ class DerivativeForecastRanker(Ranker):
     def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         history = context.popularity_history
         if history is None or np.asarray(history).shape[0] < 2:
-            return _deterministic_order(context.popularity, context.ages)
+            return _deterministic_order(context.popularity, context.ages, rng=as_rng(rng))
         history = np.asarray(history, dtype=float)
         steps = history.shape[0]
         t = np.arange(steps, dtype=float) * self.snapshot_interval_days
@@ -52,7 +52,7 @@ class DerivativeForecastRanker(Ranker):
         slopes = (t_centered @ (history - history.mean(axis=0))) / denom
         forecast = context.popularity + self.horizon_days * slopes
         forecast = np.clip(forecast, 0.0, None)
-        return _deterministic_order(forecast, context.ages)
+        return _deterministic_order(forecast, context.ages, rng=as_rng(rng))
 
     def describe(self) -> str:
         return "Derivative forecast (+%.0f days)" % self.horizon_days

@@ -6,13 +6,16 @@ Examples::
     python -m repro figure5 --scale fast --seed 3
     python -m repro figure7a --scale paper
     python -m repro serve-bench --pages 200000 --queries 5000 --shards 8
+    python -m repro sim-bench --replicates 32 --sim-mode fluid
     repro figure1
 
 Each experiment prints the same rows/series the corresponding paper figure
 reports, as an ASCII table, plus shape-check notes.  ``serve-bench`` runs
 the online serving engine under a streaming query workload and reports
 throughput, latency and cache effectiveness against the full-re-rank
-baseline.
+baseline.  ``sim-bench`` measures offline simulation throughput (simulated
+page-days per second) for the vectorized batch engine against the looped
+sequential simulator, including the bit-parity check between the two.
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment to run (one of: list, serve-bench, %s)"
+        help="experiment to run (one of: list, serve-bench, sim-bench, %s)"
         % ", ".join(list_experiments()),
     )
     parser.add_argument(
@@ -78,6 +81,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="probability a served query feeds one visit back",
     )
+
+    simulation = parser.add_argument_group("sim-bench options")
+    simulation.add_argument(
+        "--replicates", type=int, default=32,
+        help="replicate runs advanced in lockstep by the batch engine",
+    )
+    simulation.add_argument(
+        "--baseline-replicates", type=int, default=None,
+        help="replicates timed through the sequential loop (default min(R, 8))",
+    )
+    simulation.add_argument(
+        "--sim-pages", type=int, default=None,
+        help="community size; defaults to the paper's default community",
+    )
+    simulation.add_argument(
+        "--sim-warmup", type=int, default=15, help="warm-up days per run"
+    )
+    simulation.add_argument(
+        "--sim-measure", type=int, default=25, help="measurement days per run"
+    )
+    simulation.add_argument(
+        "--sim-mode", choices=("fluid", "stochastic"), default="fluid",
+        help="simulation update mode",
+    )
+    simulation.add_argument(
+        "--policy", choices=("selective", "uniform", "none"), default="selective",
+        help="rank promotion policy to simulate",
+    )
+    simulation.add_argument(
+        "--workers", type=int, default=None,
+        help="shard replicate blocks across this many worker processes",
+    )
     return parser
 
 
@@ -107,6 +142,43 @@ def run_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_sim_bench(args: argparse.Namespace) -> int:
+    """Run the batch-engine throughput benchmark and print its metrics."""
+    from repro.community.config import DEFAULT_COMMUNITY
+    from repro.core.policy import RankPromotionPolicy
+    from repro.simulation.bench import run_simulation_benchmark
+    from repro.utils.tables import Table
+
+    community = DEFAULT_COMMUNITY
+    if args.sim_pages is not None:
+        community = community.scaled(args.sim_pages)
+    policy = {
+        "selective": RankPromotionPolicy("selective", 1, 0.1),
+        "uniform": RankPromotionPolicy("uniform", 1, 0.1),
+        "none": RankPromotionPolicy("none", 1, 0.0),
+    }[args.policy]
+    report = run_simulation_benchmark(
+        community=community,
+        policy=policy,
+        replicates=args.replicates,
+        baseline_replicates=args.baseline_replicates,
+        warmup_days=args.sim_warmup,
+        measure_days=args.sim_measure,
+        mode=args.sim_mode,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
+    table = Table(
+        ["metric", "value"],
+        title="sim-bench — batch engine vs looped simulator (n=%d, R=%d, %s)"
+        % (community.n_pages, args.replicates, args.sim_mode),
+    )
+    for key in sorted(report):
+        table.add_row(key, report[key])
+    print(table.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -122,6 +194,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = run_serve_bench(args)
         print()
         print("completed serve-bench in %.1fs" % (time.time() - started))
+        return code
+
+    if args.experiment == "sim-bench":
+        started = time.time()
+        code = run_sim_bench(args)
+        print()
+        print("completed sim-bench in %.1fs" % (time.time() - started))
         return code
 
     try:

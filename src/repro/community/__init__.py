@@ -9,7 +9,7 @@ stationary quality distributions, and the Poisson birth/death lifecycle.
 """
 
 from repro.community.config import CommunityConfig, DEFAULT_COMMUNITY
-from repro.community.page import Page, PagePool
+from repro.community.page import BatchPagePool, Page, PagePool
 from repro.community.quality import (
     ParetoQualityDistribution,
     PointMassQualityDistribution,
@@ -26,6 +26,7 @@ __all__ = [
     "DEFAULT_COMMUNITY",
     "Page",
     "PagePool",
+    "BatchPagePool",
     "QualityDistribution",
     "PowerLawQualityDistribution",
     "ParetoQualityDistribution",

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.community.page import PagePool
+from repro.community.page import BatchPagePool, PagePool
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive
 
@@ -26,6 +27,27 @@ class Lifecycle(abc.ABC):
     @abc.abstractmethod
     def step(self, pool: PagePool, now: float, rng: RandomSource = None) -> np.ndarray:
         """Retire/replace pages for one time step; return indices replaced."""
+
+    def step_batch(
+        self,
+        pool: BatchPagePool,
+        now: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> List[np.ndarray]:
+        """Apply one step to every replicate of a batch pool.
+
+        Row ``r`` must behave exactly like ``self.step(row_pool, now,
+        rngs[r])``, drawing from ``rngs[r]`` identically.  The default
+        routes each row through :meth:`step` on a row view so custom
+        lifecycles stay compatible; built-in processes vectorize the
+        per-page draws/comparisons across rows.
+        """
+        replaced = []
+        for row in range(pool.replicates):
+            row_pool = pool.row_pool(row)
+            replaced.append(self.step(row_pool, now, rngs[row]))
+            pool.sync_row_pool(row, row_pool)
+        return replaced
 
     @abc.abstractmethod
     def expected_lifetime(self) -> float:
@@ -51,6 +73,22 @@ class PoissonLifecycle(Lifecycle):
         death_probability = 1.0 - np.exp(-self.rate_per_day)
         dying = np.flatnonzero(generator.random(pool.n) < death_probability)
         return pool.replace_pages(dying, now)
+
+    def step_batch(
+        self,
+        pool: BatchPagePool,
+        now: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> List[np.ndarray]:
+        death_probability = 1.0 - np.exp(-self.rate_per_day)
+        draws = np.empty((pool.replicates, pool.n), dtype=float)
+        for row in range(pool.replicates):
+            as_rng(rngs[row]).random(out=draws[row])
+        dying = draws < death_probability
+        return [
+            pool.replace_row_pages(row, np.flatnonzero(dying[row]), now)
+            for row in range(pool.replicates)
+        ]
 
     def expected_lifetime(self) -> float:
         return 1.0 / self.rate_per_day
@@ -79,6 +117,18 @@ class FixedLifetimeLifecycle(Lifecycle):
     def step(self, pool: PagePool, now: float, rng: RandomSource = None) -> np.ndarray:
         expired = np.flatnonzero(pool.ages(now) >= self.lifetime_days)
         return pool.replace_pages(expired, now)
+
+    def step_batch(
+        self,
+        pool: BatchPagePool,
+        now: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> List[np.ndarray]:
+        expired = pool.ages(now) >= self.lifetime_days
+        return [
+            pool.replace_row_pages(row, np.flatnonzero(expired[row]), now)
+            for row in range(pool.replicates)
+        ]
 
     def expected_lifetime(self) -> float:
         return self.lifetime_days

@@ -13,6 +13,7 @@ vectorized.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List, Sequence
 
 import numpy as np
 
@@ -173,6 +174,158 @@ class PagePool:
         return cls(qualities, config.n_monitored_users)
 
 
+class BatchPagePool:
+    """Per-page state for ``R`` replicate communities as ``(R, n)`` arrays.
+
+    The batched counterpart of :class:`PagePool`: row ``r`` holds replicate
+    ``r``'s quality, aware-user counts, creation times and page identifiers.
+    Each row has its own page-id counter so its bookkeeping is bit-identical
+    to a standalone :class:`PagePool` evolved with the same random stream.
+    """
+
+    def __init__(
+        self,
+        qualities: np.ndarray,
+        monitored_population: int,
+        created_at: float = 0.0,
+    ) -> None:
+        qualities = np.asarray(qualities, dtype=float)
+        if qualities.ndim != 2 or qualities.size == 0:
+            raise ValueError("qualities must be a non-empty (R, n) matrix")
+        if np.any((qualities < 0) | (qualities > 1)):
+            raise ValueError("all quality values must lie in [0, 1]")
+        check_positive_int("monitored_population", monitored_population)
+        self.monitored_population = int(monitored_population)
+        self.quality = qualities.copy()
+        self.aware_count = np.zeros_like(self.quality)
+        self.created_at = np.full_like(self.quality, float(created_at))
+        self.page_ids = np.tile(np.arange(self.n, dtype=np.int64), (self.replicates, 1))
+        self._next_page_id = np.full(self.replicates, self.n, dtype=np.int64)
+
+    # --- Size and views ----------------------------------------------------
+
+    @property
+    def replicates(self) -> int:
+        """Number of replicate communities ``R``."""
+        return int(self.quality.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Number of page slots per community."""
+        return int(self.quality.shape[1])
+
+    @property
+    def awareness(self) -> np.ndarray:
+        """Awareness matrix ``A(p, t)`` in ``[0, 1]``."""
+        return self.aware_count / self.monitored_population
+
+    @property
+    def popularity(self) -> np.ndarray:
+        """Popularity matrix ``P(p, t) = A * Q``."""
+        return self.awareness * self.quality
+
+    def ages(self, now: float) -> np.ndarray:
+        """Ages (days) of all page slots at time ``now``."""
+        return np.maximum(0.0, now - self.created_at)
+
+    def row_pool(self, row: int) -> PagePool:
+        """A :class:`PagePool` sharing replicate ``row``'s state (views).
+
+        Used by the fallback paths (custom lifecycles) so single-community
+        code can mutate one replicate in place.  Page-id allocation through
+        the view is written back to the batch counter.
+        """
+        pool = PagePool.__new__(PagePool)
+        pool.monitored_population = self.monitored_population
+        pool.quality = self.quality[row]
+        pool.aware_count = self.aware_count[row]
+        pool.created_at = self.created_at[row]
+        pool.page_ids = self.page_ids[row]
+        pool._next_page_id = int(self._next_page_id[row])
+        return pool
+
+    def sync_row_pool(self, row: int, pool: PagePool) -> None:
+        """Write a row view's page-id counter back after mutation."""
+        self._next_page_id[row] = pool._next_page_id
+
+    # --- Mutation ----------------------------------------------------------
+
+    def add_awareness_bulk(self, new_users: np.ndarray) -> None:
+        """Increase awareness for all replicates at once, clipped to ``m``."""
+        np.minimum(
+            self.monitored_population,
+            self.aware_count + np.asarray(new_users, dtype=float),
+            out=self.aware_count,
+        )
+
+    def replace_row_pages(self, row: int, indices: np.ndarray, now: float) -> np.ndarray:
+        """Retire/replace pages of one replicate, as ``PagePool.replace_pages``."""
+        indices = np.asarray(indices, dtype=int)
+        if indices.size == 0:
+            return indices
+        self.aware_count[row, indices] = 0.0
+        self.created_at[row, indices] = float(now)
+        start = self._next_page_id[row]
+        self.page_ids[row, indices] = np.arange(
+            start, start + indices.size, dtype=np.int64
+        )
+        self._next_page_id[row] += indices.size
+        return indices
+
+    @classmethod
+    def from_config(
+        cls, config, rngs: Sequence[np.random.Generator]
+    ) -> "BatchPagePool":
+        """Build a pool of ``len(rngs)`` replicates from a community config.
+
+        Each replicate's quality vector is drawn from its own generator, in
+        the same way :meth:`PagePool.from_config` would with that generator,
+        so the replicate-for-replicate parity with sequential runs starts at
+        initialization.
+        """
+        qualities = np.asarray(
+            [config.sample_qualities(as_rng(rng)) for rng in rngs], dtype=float
+        )
+        return cls(qualities, config.n_monitored_users)
+
+
+def awareness_gain_batch(
+    aware_count: np.ndarray,
+    monitored_population: int,
+    monitored_visits: np.ndarray,
+    mode: str = "fluid",
+    rngs: Sequence[np.random.Generator] = (),
+) -> np.ndarray:
+    """Batched :func:`awareness_gain` over ``(R, n)`` matrices.
+
+    Row ``r`` equals ``awareness_gain(aware_count[r], m, visits[r], mode,
+    rngs[r])`` bit for bit: the fluid expectation uses the same elementwise
+    expression, and the stochastic branch draws each row's binomials from
+    that row's generator over the same index set.
+    """
+    aware_count = np.asarray(aware_count, dtype=float)
+    monitored_visits = np.asarray(monitored_visits, dtype=float)
+    m = monitored_population
+    unaware = m - aware_count
+    p_new = (1.0 - 1.0 / m) ** monitored_visits
+    np.subtract(1.0, p_new, out=p_new)
+    if mode == "fluid":
+        np.multiply(unaware, p_new, out=p_new)
+        return p_new
+    gained = np.zeros_like(aware_count)
+    visited = monitored_visits > 0
+    candidates = visited & (unaware > 0)
+    for row in range(aware_count.shape[0]):
+        if not np.any(visited[row]):
+            continue
+        idx = np.flatnonzero(candidates[row])
+        if idx.size:
+            gained[row, idx] = as_rng(rngs[row]).binomial(
+                unaware[row, idx].astype(int), p_new[row, idx]
+            )
+    return gained
+
+
 def awareness_gain(
     aware_count: np.ndarray,
     monitored_population: int,
@@ -207,4 +360,10 @@ def awareness_gain(
     return gained
 
 
-__all__ = ["Page", "PagePool", "awareness_gain"]
+__all__ = [
+    "Page",
+    "PagePool",
+    "BatchPagePool",
+    "awareness_gain",
+    "awareness_gain_batch",
+]

@@ -25,6 +25,10 @@ from repro.core.promotion import (
     SelectivePromotionRule,
     UniformPromotionRule,
 )
+from repro.core.batch_rank import (
+    batched_deterministic_order,
+    batched_promotion_merge,
+)
 from repro.core.merge import randomized_merge, merge_positions
 from repro.core.rankers import (
     PopularityRanker,
@@ -34,6 +38,7 @@ from repro.core.rankers import (
     Ranker,
     RankingContext,
 )
+from repro.core.rankers_context import BatchRankingContext
 from repro.core.policy import RankPromotionPolicy, RECOMMENDED_POLICY
 
 __all__ = [
@@ -47,6 +52,9 @@ __all__ = [
     "merge_positions",
     "Ranker",
     "RankingContext",
+    "BatchRankingContext",
+    "batched_deterministic_order",
+    "batched_promotion_merge",
     "PopularityRanker",
     "RandomizedPromotionRanker",
     "QualityOracleRanker",

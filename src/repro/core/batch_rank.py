@@ -1,0 +1,239 @@
+"""Batched ranking kernels: R independent communities ranked in lockstep.
+
+The batch simulation engine advances ``R`` replicate communities as ``(R, n)``
+arrays.  The kernels here produce, for every row, *exactly* the permutation
+the sequential code path produces — same random draws from the same
+per-replicate generator, same result bit for bit — while doing the heavy
+lifting (sorting, cumulative merge bookkeeping, gathers) across all rows at
+once.
+
+Exactness argument for :func:`batched_deterministic_order`: the sequential
+``_deterministic_order`` is ``np.lexsort`` over ``(tie_key, -scores)`` (or the
+age/index variants), i.e. the unique ordering by the composite key
+``(-score, tie, index)``.  Any sorting algorithm that realises that total
+order returns the same permutation, so we are free to use the fastest route:
+an unstable batched quicksort on the primary key alone, followed by an exact
+repair of every run of equal primary keys using the secondary/tertiary keys.
+Ties are rare in fluid mode (only freshly replaced pages share popularity
+zero) but can be large in stochastic mode, where integer awareness counts
+collide; the repair handles both.
+
+The merge kernel mirrors ``repro.core.merge.merge_positions`` through a
+closed form: with ``c[j]`` the running count of promotion-list picks after
+``j + 1`` slots, draining both lists is equivalent to clipping ``c`` to
+``[j + 1 - n_det, n_promoted]`` — the lower bound activates when the
+deterministic list runs dry (every later slot takes from the promotion list)
+and the upper bound when the promotion list does (every later slot takes from
+the deterministic list).  ``tests/test_batch.py`` checks this equivalence
+against ``merge_positions`` by brute force.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+import numpy as np
+
+TIE_BREAKERS = ("random", "age", "index")
+
+
+#: Single-slot, thread-local scratch for :func:`_flat_take` (row offsets and
+#: the flat index buffer for the most recent (R, n) shape).  A simulation run
+#: gathers thousands of times at one fixed shape, so one slot captures the
+#: win while sweeps over many community sizes retain at most one shape's
+#: buffers per thread; thread-locality keeps concurrently stepping engines
+#: (e.g. a ThreadPoolExecutor policy sweep) from clobbering each other.
+_FLAT_TAKE_SCRATCH = threading.local()
+
+
+def _flat_take(matrix: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Row-wise gather ``matrix[r, indices[r]]`` via one flat ``take``."""
+    R, n = matrix.shape
+    scratch = getattr(_FLAT_TAKE_SCRATCH, "slot", None)
+    if scratch is None or scratch[0] != (R, n):
+        scratch = (
+            (R, n),
+            (np.arange(R, dtype=np.int64) * n)[:, None],
+            np.empty((R, n), dtype=np.int64),
+        )
+        _FLAT_TAKE_SCRATCH.slot = scratch
+    _, offsets, flat_indices = scratch
+    np.add(indices, offsets, out=flat_indices)
+    return matrix.ravel().take(flat_indices)
+
+
+def _repair_tie_runs(
+    perm: np.ndarray,
+    sorted_keys: np.ndarray,
+    tie_breaker: str,
+    tie_keys: Optional[np.ndarray],
+    ages: Optional[np.ndarray],
+) -> None:
+    """Reorder every run of equal primary keys by the exact tie-break rule.
+
+    ``perm`` is modified in place.  Within a run the required order is: by
+    tie key ascending (``random``), by age descending (``age``), or by page
+    index ascending (``index``); remaining ties fall back to page index,
+    matching ``np.lexsort`` stability in the sequential path.
+    """
+    equal_next = sorted_keys[:, 1:] == sorted_keys[:, :-1]
+    for row in np.flatnonzero(equal_next.any(axis=1)):
+        pairs = np.flatnonzero(equal_next[row])
+        # Contiguous stretches of `pairs` are single runs of equal keys.
+        breaks = np.flatnonzero(np.diff(pairs) > 1)
+        run_starts = np.concatenate(([0], breaks + 1))
+        run_ends = np.concatenate((breaks, [pairs.size - 1]))
+        for lo, hi in zip(run_starts, run_ends):
+            a, b = pairs[lo], pairs[hi] + 2  # run spans positions a..b-1
+            members = np.sort(perm[row, a:b])
+            if tie_breaker == "random":
+                members = members[
+                    np.argsort(tie_keys[row, members], kind="stable")
+                ]
+            elif tie_breaker == "age":
+                members = members[
+                    np.argsort(-ages[row, members], kind="stable")
+                ]
+            perm[row, a:b] = members
+
+
+def batched_deterministic_order(
+    scores: np.ndarray,
+    ages: Optional[np.ndarray],
+    tie_breaker: str,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Batched equivalent of ``rankers._deterministic_order`` row by row.
+
+    Args:
+        scores: ``(R, n)`` ranking scores (higher is better).
+        ages: ``(R, n)`` page ages, required for ``tie_breaker="age"``.
+        tie_breaker: one of ``TIE_BREAKERS``.
+        rngs: one generator per row; consulted (one ``random(n)`` draw per
+            row, same as the sequential path) only for ``"random"``.
+
+    Returns:
+        ``(R, n)`` permutations, each bit-identical to what
+        ``_deterministic_order(scores[r], ages[r], tie_breaker, rngs[r])``
+        would return.
+    """
+    R, n = scores.shape
+    tie_keys = None
+    if tie_breaker == "random":
+        tie_keys = np.empty((R, n), dtype=float)
+        for row in range(R):
+            rngs[row].random(out=tie_keys[row])
+    elif tie_breaker == "age":
+        # The sequential path substitutes zero ages when none are given;
+        # mirror that so the per-row contract holds for age-less contexts.
+        ages = (
+            np.zeros((R, n)) if ages is None else np.asarray(ages, dtype=float)
+        )
+    elif tie_breaker != "index":
+        raise ValueError(
+            "tie_breaker must be one of %s, got %r" % (TIE_BREAKERS, tie_breaker)
+        )
+
+    negated = -np.asarray(scores, dtype=float)
+    perm = np.argsort(negated, axis=1)  # unstable quicksort: equal runs repaired below
+    sorted_keys = _flat_take(negated, perm)
+    _repair_tie_runs(perm, sorted_keys, tie_breaker, tie_keys, ages)
+    return perm
+
+
+def batched_merge_counts(
+    flips: np.ndarray, n_deterministic: np.ndarray, n_promoted: np.ndarray
+) -> np.ndarray:
+    """Running promotion-pick counts per slot with both lists draining.
+
+    ``flips`` is the ``(R, n)`` coin matrix (``True`` = try the promotion
+    list), already ``False`` in each row's protected prefix and in rows that
+    drew no coins.  Returns the clipped cumulative count ``c`` described in
+    the module docstring; slot ``j`` takes from the promotion list exactly
+    when ``c[j] > c[j - 1]``.
+    """
+    R, n = flips.shape
+    counts = np.cumsum(flips, axis=1, dtype=np.int32)
+    position = np.arange(1, n + 1, dtype=np.int32)
+    lower = position[None, :] - n_deterministic.astype(np.int32)[:, None]
+    np.maximum(counts, lower, out=counts)
+    np.minimum(counts, n_promoted.astype(np.int32)[:, None], out=counts)
+    return counts
+
+
+def batched_promotion_merge(
+    perms: np.ndarray,
+    promoted_mask: np.ndarray,
+    k: int,
+    r: float,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """Batched equivalent of the sequential randomized merge, row by row.
+
+    For each row this reproduces ``randomized_merge(deterministic, promoted,
+    k, r, rng)`` exactly: the promotion pool is the masked subsequence of the
+    deterministic order, shuffled with the row's generator, and merged via
+    the same coin flips.  Rows with an empty pool return their deterministic
+    order untouched and consult their generator not at all, matching the
+    sequential early return.
+
+    Args:
+        perms: ``(R, n)`` deterministic orders (modified only by copy).
+        promoted_mask: ``(R, n)`` boolean pool membership per page index.
+        k: protected prefix length (ranks better than ``k`` never move).
+        r: merge coin bias.
+        rngs: one generator per row.
+    """
+    R, n = perms.shape
+    mask_by_rank = _flat_take(promoted_mask, perms)
+    n_promoted = mask_by_rank.sum(axis=1)
+    n_deterministic = n - n_promoted
+
+    # Partition each row into [deterministic..., promoted...], both in rank
+    # order: a stable argsort of the boolean mask is exactly that partition.
+    partition = np.argsort(mask_by_rank, axis=1, kind="stable")
+    values = _flat_take(perms, partition)
+
+    # Per-row generator work (the only non-batched part, by parity): the
+    # promotion-pool shuffle followed by the merge coin flips, in the same
+    # order and with the same sizes as the sequential path.  The uniform
+    # draws land in one (R, n) buffer so the coin comparison and everything
+    # after it runs batched.
+    # Undrawn slots keep coin value 1.0, which never passes `< r` (r <= 1),
+    # so rows or prefixes without sequential draws contribute no flips.
+    draws = np.ones((R, n), dtype=float)
+    for row in range(R):
+        pool_size = int(n_promoted[row])
+        if pool_size == 0:
+            continue
+        generator = rngs[row]
+        pool_view = values[row, n - pool_size:]
+        if pool_size > 1:
+            generator.shuffle(pool_view)
+        taken = min(k - 1, n - pool_size)
+        if taken >= n or n - pool_size - taken == 0:
+            continue  # sequential path draws no coins in these cases
+        generator.random(out=draws[row, taken:])
+
+    flips = draws < r
+    counts = batched_merge_counts(flips, n_deterministic, n_promoted)
+    position = np.arange(n, dtype=np.int32)[None, :]
+    # Slot j takes from the promotion pool iff the clipped count increased.
+    take_promoted = np.empty((R, n), dtype=bool)
+    take_promoted[:, 0] = counts[:, 0] > 0
+    np.greater(counts[:, 1:], counts[:, :-1], out=take_promoted[:, 1:])
+    source = np.where(
+        take_promoted,
+        n_deterministic.astype(np.int32)[:, None] + counts - 1,
+        position - counts,
+    )
+    return _flat_take(values, source)
+
+
+__all__ = [
+    "batched_deterministic_order",
+    "batched_promotion_merge",
+    "batched_merge_counts",
+    "TIE_BREAKERS",
+]

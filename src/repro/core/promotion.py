@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.rankers_context import RankingContext
+from repro.core.rankers_context import BatchRankingContext, RankingContext
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive, check_probability
 
@@ -32,6 +33,26 @@ class PromotionRule(abc.ABC):
     @abc.abstractmethod
     def select(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         """Return a boolean mask over pages: ``True`` marks promoted pages."""
+
+    def select_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Select pools for ``R`` replicates at once; returns an ``(R, n)`` mask.
+
+        Row ``r`` must equal ``self.select(context.row(r), rngs[r])``,
+        consuming ``rngs[r]`` exactly as the sequential call would.  The
+        default loops over rows so custom rules stay compatible; the built-in
+        rules override it with vectorized (or draw-preserving) versions.
+        """
+        return np.asarray(
+            [
+                self.select(context.row(row), rngs[row])
+                for row in range(context.replicates)
+            ],
+            dtype=bool,
+        )
 
     def describe(self) -> str:
         """Short description used in experiment reports."""
@@ -44,6 +65,13 @@ class NoPromotionRule(PromotionRule):
 
     def select(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         return np.zeros(context.n, dtype=bool)
+
+    def select_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        return np.zeros((context.replicates, context.n), dtype=bool)
 
 
 @dataclass(frozen=True)
@@ -62,6 +90,16 @@ class UniformPromotionRule(PromotionRule):
     def select(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         generator = as_rng(rng)
         return generator.random(context.n) < self.probability
+
+    def select_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        draws = np.empty((context.replicates, context.n), dtype=float)
+        for row in range(context.replicates):
+            as_rng(rngs[row]).random(out=draws[row])
+        return draws < self.probability
 
     def describe(self) -> str:
         return "Uniform(p=%.3f)" % self.probability
@@ -84,6 +122,16 @@ class SelectivePromotionRule(PromotionRule):
 
     def select(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         awareness = np.asarray(context.awareness)
+        if context.monitored_population:
+            return awareness * context.monitored_population < 1.0 - 1e-9
+        return awareness <= 0.0
+
+    def select_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        awareness = context.awareness
         if context.monitored_population:
             return awareness * context.monitored_population < 1.0 - 1e-9
         return awareness <= 0.0
@@ -111,6 +159,15 @@ class AgeThresholdPromotionRule(PromotionRule):
             raise ValueError("AgeThresholdPromotionRule requires page ages in the context")
         return np.asarray(context.ages) < self.max_age_days
 
+    def select_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        if context.ages is None:
+            raise ValueError("AgeThresholdPromotionRule requires page ages in the context")
+        return context.ages < self.max_age_days
+
     def describe(self) -> str:
         return "AgeThreshold(<%.0f days)" % self.max_age_days
 
@@ -131,6 +188,13 @@ class PopularityThresholdPromotionRule(PromotionRule):
 
     def select(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         return np.asarray(context.popularity) < self.threshold
+
+    def select_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        return context.popularity < self.threshold
 
     def describe(self) -> str:
         return "PopularityThreshold(<%.3f)" % self.threshold

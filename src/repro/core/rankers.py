@@ -19,13 +19,17 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batch_rank import (
+    batched_deterministic_order,
+    batched_promotion_merge,
+)
 from repro.core.merge import randomized_merge
 from repro.core.promotion import NoPromotionRule, PromotionRule, SelectivePromotionRule
-from repro.core.rankers_context import RankingContext
+from repro.core.rankers_context import BatchRankingContext, RankingContext
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_probability
 
@@ -36,6 +40,25 @@ class Ranker(abc.ABC):
     @abc.abstractmethod
     def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         """Return page indices ordered from rank 1 to rank ``n``."""
+
+    def rank_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Rank ``R`` replicate communities at once; returns ``(R, n)`` orders.
+
+        Row ``r`` must equal ``self.rank(context.row(r), rngs[r])`` bit for
+        bit, consuming ``rngs[r]`` exactly as the sequential call would.
+        This default implementation does precisely that, one row at a time,
+        so any custom :class:`Ranker` works with the batch engine unchanged;
+        the built-in rankers override it with vectorized kernels.
+        """
+        rows: List[np.ndarray] = [
+            self.rank(context.row(row), rngs[row])
+            for row in range(context.replicates)
+        ]
+        return np.asarray(rows, dtype=np.intp)
 
     @property
     def is_randomized(self) -> bool:
@@ -60,12 +83,20 @@ def _deterministic_order(
 
     ``numpy.lexsort`` sorts ascending by the last key first, so keys are
     negated where a descending order is wanted.
+
+    The random tie-breaker requires the caller's generator: every ranking
+    call sits inside a seeded simulation or serving stream, and silently
+    falling back to fresh entropy here would make seed-equal runs diverge.
     """
     scores = np.asarray(scores, dtype=float)
     n = scores.size
     if tie_breaker == "random":
-        generator = rng if rng is not None else np.random.default_rng()
-        tie_key = generator.random(n)
+        if rng is None:
+            raise ValueError(
+                "tie_breaker='random' requires the caller's random generator; "
+                "pass rng explicitly (e.g. via repro.utils.rng.as_rng)"
+            )
+        tie_key = rng.random(n)
         return np.lexsort((tie_key, -scores))
     if tie_breaker == "age":
         ages = np.zeros(n) if ages is None else np.asarray(ages, dtype=float)
@@ -96,6 +127,16 @@ class PopularityRanker(Ranker):
     def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         return _deterministic_order(
             context.popularity, context.ages, self.tie_breaker, as_rng(rng)
+        )
+
+    def rank_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        ages = context.ages if self.tie_breaker == "age" else None
+        return batched_deterministic_order(
+            context.popularity, ages, self.tie_breaker, rngs
         )
 
     def describe(self) -> str:
@@ -141,6 +182,24 @@ class RandomizedPromotionRanker(Ranker):
             return order
         return randomized_merge(deterministic, promoted, self.k, self.r, generator)
 
+    def rank_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        promoted_mask = np.asarray(
+            self.promotion_rule.select_batch(context, rngs), dtype=bool
+        )
+        if promoted_mask.shape != context.popularity.shape:
+            raise ValueError("promotion rule returned a mask of the wrong shape")
+        ages = context.ages if self.tie_breaker == "age" else None
+        orders = batched_deterministic_order(
+            context.popularity, ages, self.tie_breaker, rngs
+        )
+        if self.r == 0.0:
+            return orders
+        return batched_promotion_merge(orders, promoted_mask, self.k, self.r, rngs)
+
     def describe(self) -> str:
         return "Randomized(%s, k=%d, r=%.2f)" % (
             self.promotion_rule.describe(), self.k, self.r,
@@ -172,6 +231,15 @@ class QualityOracleRanker(Ranker):
             raise ValueError("QualityOracleRanker requires quality in the context")
         return _deterministic_order(context.quality, context.ages, "index")
 
+    def rank_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        if context.quality is None:
+            raise ValueError("QualityOracleRanker requires quality in the context")
+        return batched_deterministic_order(context.quality, None, "index", rngs)
+
     def describe(self) -> str:
         return "Quality oracle"
 
@@ -186,6 +254,16 @@ class RandomRanker(Ranker):
 
     def rank(self, context: RankingContext, rng: RandomSource = None) -> np.ndarray:
         return as_rng(rng).permutation(context.n)
+
+    def rank_batch(
+        self,
+        context: BatchRankingContext,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        n = context.n
+        return np.asarray(
+            [as_rng(rng).permutation(n) for rng in rngs], dtype=np.intp
+        )
 
     def describe(self) -> str:
         return "Fully random"

@@ -74,4 +74,86 @@ class RankingContext:
         )
 
 
-__all__ = ["RankingContext"]
+class BatchRankingContext:
+    """Ranking state for ``R`` replicate communities as ``(R, n)`` arrays.
+
+    The batched counterpart of :class:`RankingContext`: every attribute is a
+    matrix whose row ``r`` is replicate ``r``'s vector.  Ages are computed
+    lazily from creation times because the common promotion rules and the
+    random tie-breaker never consult them.
+
+    ``popularity_history`` is, when present, a ``(history_length, R, n)``
+    array of recent popularity snapshots (newest last), sliced per row for
+    the fallback path.
+    """
+
+    def __init__(
+        self,
+        popularity: np.ndarray,
+        awareness: np.ndarray,
+        quality: Optional[np.ndarray] = None,
+        created_at: Optional[np.ndarray] = None,
+        now: float = 0.0,
+        popularity_history: Optional[np.ndarray] = None,
+        monitored_population: Optional[int] = None,
+    ) -> None:
+        self.popularity = np.asarray(popularity, dtype=float)
+        self.awareness = np.asarray(awareness, dtype=float)
+        if self.popularity.ndim != 2 or self.popularity.shape != self.awareness.shape:
+            raise ValueError("popularity and awareness must be equal (R, n) matrices")
+        self.quality = quality
+        self.created_at = created_at
+        self.now = float(now)
+        self.popularity_history = popularity_history
+        self.monitored_population = monitored_population
+        self._ages: Optional[np.ndarray] = None
+
+    @property
+    def replicates(self) -> int:
+        """Number of replicate rows ``R``."""
+        return int(self.popularity.shape[0])
+
+    @property
+    def n(self) -> int:
+        """Number of pages per replicate."""
+        return int(self.popularity.shape[1])
+
+    @property
+    def ages(self) -> Optional[np.ndarray]:
+        """Page ages per replicate, computed on first access."""
+        if self._ages is None and self.created_at is not None:
+            self._ages = np.maximum(0.0, self.now - self.created_at)
+        return self._ages
+
+    def row(self, index: int) -> RankingContext:
+        """A per-replicate :class:`RankingContext` view (fallback path)."""
+        history = self.popularity_history
+        return RankingContext(
+            popularity=self.popularity[index],
+            awareness=self.awareness[index],
+            quality=None if self.quality is None else self.quality[index],
+            ages=None if self.ages is None else self.ages[index],
+            popularity_history=(
+                None if history is None else history[:, index, :]
+            ),
+            monitored_population=self.monitored_population,
+        )
+
+    @classmethod
+    def from_batch_pool(
+        cls, pool, now: float = 0.0, popularity_history=None
+    ) -> "BatchRankingContext":
+        """Build a batch context from a :class:`~repro.community.BatchPagePool`."""
+        awareness = pool.awareness  # one (R, n) pass, reused for popularity
+        return cls(
+            popularity=awareness * pool.quality,
+            awareness=awareness,
+            quality=pool.quality,
+            created_at=pool.created_at,
+            now=now,
+            popularity_history=popularity_history,
+            monitored_population=pool.monitored_population,
+        )
+
+
+__all__ = ["RankingContext", "BatchRankingContext"]

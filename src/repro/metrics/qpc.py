@@ -21,7 +21,13 @@ from repro.visits.attention import AttentionModel, PowerLawAttention
 
 
 def qpc_from_visits(visits: np.ndarray, quality: np.ndarray) -> float:
-    """QPC of a single visit allocation: quality-weighted mean over visits."""
+    """QPC of a single visit allocation: quality-weighted mean over visits.
+
+    The visits are normalized to weights before the dot product: dividing
+    the weighted sum afterwards can leave the subnormal range mid-compute
+    (e.g. a single denormal visit count) and round the mean outside the
+    quality range.
+    """
     visits = np.asarray(visits, dtype=float)
     quality = np.asarray(quality, dtype=float)
     if visits.shape != quality.shape:
@@ -29,7 +35,7 @@ def qpc_from_visits(visits: np.ndarray, quality: np.ndarray) -> float:
     total = visits.sum()
     if total <= 0:
         return 0.0
-    return float(np.dot(visits, quality) / total)
+    return float(np.dot(visits / total, quality))
 
 
 def ideal_qpc(quality: np.ndarray, attention: Optional[AttentionModel] = None) -> float:

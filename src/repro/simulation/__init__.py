@@ -15,6 +15,7 @@ Two update modes are supported:
   noise and lets the large robustness sweeps run quickly.
 """
 
+from repro.simulation.batch import BatchSimulator, run_batch
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
 from repro.simulation.observers import (
@@ -35,6 +36,8 @@ from repro.simulation.runner import (
 __all__ = [
     "SimulationConfig",
     "Simulator",
+    "BatchSimulator",
+    "run_batch",
     "SimulationResult",
     "Observer",
     "QPCObserver",

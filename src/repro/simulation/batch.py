@@ -1,0 +1,339 @@
+"""The vectorized batch simulation engine: R replicates as one array program.
+
+Every figure in the paper averages the day-stepped simulation over many
+replicate runs.  The replicates are statistically independent and share the
+same shape, so instead of looping a Python-level
+:class:`~repro.simulation.engine.Simulator` per replicate, the
+:class:`BatchSimulator` holds all pool state as ``(R, n)`` arrays and steps
+every replicate per day with batched operations: one batched argsort for the
+ranking (plus exact tie repair), one scatter for the visit shares, one
+vectorized awareness update and one batched lifecycle pass.
+
+Parity contract: replicate ``r`` consumes its own generator (the same
+``spawn_rngs`` stream the sequential runner would hand to repetition ``r``)
+in exactly the sequential order, so in fluid mode the per-replicate results
+are **bit-identical** to running ``R`` sequential simulators — and in
+stochastic mode as well, since the multinomial/binomial draws are taken from
+the same streams over the same index sets.  ``tests/test_batch.py`` pins
+this down.
+
+For large ``R`` the independent replicate blocks can be sharded across a
+``ProcessPoolExecutor`` (:func:`run_batch`), each worker advancing its block
+with the original generators so results stay identical to the in-process
+run regardless of the worker count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from repro.community.config import CommunityConfig
+from repro.community.lifecycle import Lifecycle, PoissonLifecycle
+from repro.community.page import BatchPagePool, awareness_gain_batch
+from repro.core.rankers import Ranker
+from repro.core.rankers_context import BatchRankingContext
+from repro.metrics.qpc import QPCAccumulator
+from repro.metrics.tbp import tbp_from_trajectory
+from repro.simulation.config import SimulationConfig
+from repro.simulation.result import SimulationResult
+from repro.utils.rng import RandomSource, spawn_rngs
+from repro.visits.allocation import (
+    allocate_monitored_visits_batch,
+    rank_visit_shares_batch,
+)
+from repro.visits.attention import AttentionModel, PowerLawAttention
+from repro.visits.surfing import MixedSurfingModel
+
+
+class BatchSimulator:
+    """Simulates ``R`` independent replicate communities in lockstep.
+
+    Mirrors the :class:`~repro.simulation.engine.Simulator` day loop, with
+    every per-page vector widened to an ``(R, n)`` matrix.  Custom rankers,
+    promotion rules and lifecycles that only implement the sequential
+    interface are supported through the per-row fallback entry points
+    (``rank_batch`` / ``select_batch`` / ``step_batch`` defaults).
+
+    Args:
+        community: community configuration shared by all replicates.
+        ranker: ranking method shared by all replicates (stateless).
+        config: simulation window/mode settings.
+        attention, surfing, lifecycle: as for the sequential simulator.
+        replicates: number of replicate rows; ignored when ``rngs`` is given.
+        rngs: per-replicate generators.  Pass the ``spawn_rngs`` family the
+            sequential runner would use to obtain replicate-for-replicate
+            parity; by default the family is spawned from ``config.seed``.
+        history_length: recent popularity snapshots kept for history-aware
+            rankers (the fallback path slices them per row).
+    """
+
+    def __init__(
+        self,
+        community: CommunityConfig,
+        ranker: Ranker,
+        config: Optional[SimulationConfig] = None,
+        attention: Optional[AttentionModel] = None,
+        surfing: Optional[MixedSurfingModel] = None,
+        lifecycle: Optional[Lifecycle] = None,
+        replicates: int = 1,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        history_length: int = 0,
+    ) -> None:
+        self.community = community
+        self.ranker = ranker
+        self.config = config or SimulationConfig()
+        self.attention = attention or PowerLawAttention()
+        self.surfing = surfing or MixedSurfingModel(surfing_fraction=0.0)
+        self.lifecycle = lifecycle or PoissonLifecycle.from_lifetime(
+            community.expected_lifetime_days
+        )
+        if history_length < 0:
+            raise ValueError("history_length must be non-negative")
+        self.history_length = int(history_length)
+
+        if rngs is None:
+            rngs = spawn_rngs(self.config.seed, replicates)
+        self.rngs: List[np.random.Generator] = list(rngs)
+        if not self.rngs:
+            raise ValueError("BatchSimulator needs at least one replicate")
+
+        self.pool = BatchPagePool.from_config(community, self.rngs)
+        self.day = 0
+        self._history: Deque[np.ndarray] = deque(maxlen=self.history_length or None)
+        self._shares = np.empty((self.replicates, self.pool.n), dtype=float)
+
+    @property
+    def replicates(self) -> int:
+        """Number of replicate communities ``R``."""
+        return len(self.rngs)
+
+    # ------------------------------------------------------------------ API
+
+    def step(self, compute_all_visits: bool = True) -> Optional[np.ndarray]:
+        """Advance every replicate by one day.
+
+        Returns the ``(R, n)`` all-user visit matrix, or ``None`` when
+        ``compute_all_visits`` is off (warm-up days, where nothing observes
+        the visits and the extra elementwise pass would be wasted).
+        """
+        pool = self.pool
+        config = self.config
+        context = BatchRankingContext.from_batch_pool(
+            pool, now=float(self.day), popularity_history=self._history_array()
+        )
+        rankings = self.ranker.rank_batch(context, self.rngs)
+
+        shares = rank_visit_shares_batch(
+            rankings, self.attention, self.surfing, context.popularity,
+            out=self._shares,
+        )
+        monitored = allocate_monitored_visits_batch(
+            shares, self.community.monitored_visit_rate, config.mode, self.rngs
+        )
+        gained = awareness_gain_batch(
+            pool.aware_count,
+            pool.monitored_population,
+            monitored,
+            mode=config.mode,
+            rngs=self.rngs,
+        )
+        pool.add_awareness_bulk(gained)
+        self.lifecycle.step_batch(pool, now=float(self.day), rngs=self.rngs)
+        if self.history_length > 0:
+            self._history.append(pool.popularity.copy())
+        self.day += 1
+        if compute_all_visits:
+            return shares * self.community.total_visit_rate
+        return None
+
+    def run(self) -> List[SimulationResult]:
+        """Run warm-up plus measurement; return one result per replicate."""
+        config = self.config
+        pool = self.pool
+        R = self.replicates
+        rows = np.arange(R)
+
+        for _ in range(config.warmup_days):
+            self.step(compute_all_visits=False)
+
+        probe_slots = probe_ids = None
+        probe_alive = None
+        probe_popularity: List[np.ndarray] = []
+        if config.probe_quality is not None:
+            probe_slots, probe_ids = self._inject_probe(config.probe_quality)
+            probe_alive = np.ones(R, dtype=bool)
+            probe_days = np.zeros(R, dtype=int)
+
+        measure_days = config.measure_days
+        if config.probe_quality is not None:
+            measure_days = max(measure_days, config.probe_horizon_days)
+
+        accumulators = [QPCAccumulator() for _ in range(R)]
+        quality = pool.quality
+        for _ in range(measure_days):
+            visits_all = self.step()
+            for row in range(R):
+                accumulators[row].update(visits_all[row], quality[row])
+            if probe_slots is not None:
+                probe_alive &= pool.page_ids[rows, probe_slots] == probe_ids
+                probe_days += probe_alive
+                popularity_col = (
+                    pool.aware_count[rows, probe_slots]
+                    / pool.monitored_population
+                    * quality[rows, probe_slots]
+                )
+                probe_popularity.append(popularity_col)
+
+        final_awareness = (
+            pool.awareness if config.snapshot_awareness else None
+        )
+        probe_matrix = (
+            np.asarray(probe_popularity) if probe_popularity else None
+        )
+
+        results: List[SimulationResult] = []
+        for row in range(R):
+            qpc_absolute = accumulators[row].value
+            trajectory = None
+            tbp = None
+            if probe_slots is not None:
+                length = int(probe_days[row])
+                trajectory = (
+                    probe_matrix[:length, row].copy()
+                    if probe_matrix is not None
+                    else np.zeros(0)
+                )
+                if trajectory.size:
+                    tbp = tbp_from_trajectory(
+                        trajectory, config.probe_quality, dt=1.0
+                    )
+            results.append(
+                SimulationResult(
+                    qpc_absolute=qpc_absolute,
+                    qpc_normalized=SimulationResult.normalize(
+                        qpc_absolute, quality[row], self.attention
+                    ),
+                    quality=quality[row].copy(),
+                    final_awareness=(
+                        final_awareness[row].copy()
+                        if final_awareness is not None
+                        else None
+                    ),
+                    probe_trajectory=trajectory,
+                    probe_quality=config.probe_quality,
+                    tbp_days=tbp,
+                    days_simulated=self.day,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------ internals
+
+    def _history_array(self) -> Optional[np.ndarray]:
+        if self.history_length <= 0 or len(self._history) < 2:
+            return None
+        return np.asarray(list(self._history))
+
+    def _inject_probe(self, quality: float):
+        """Replace one slot per replicate with a probe page of ``quality``.
+
+        Row-for-row identical to ``Simulator._inject_probe``: the slot whose
+        quality is closest to the probe quality is recycled in place.
+        """
+        pool = self.pool
+        slots = np.argmin(np.abs(pool.quality - quality), axis=1)
+        for row, slot in enumerate(slots):
+            pool.quality[row, slot] = float(quality)
+            pool.replace_row_pages(row, np.array([slot]), now=float(self.day))
+        page_ids = pool.page_ids[np.arange(self.replicates), slots].copy()
+        return slots, page_ids
+
+
+def _run_batch_block(
+    community: CommunityConfig,
+    ranker: Ranker,
+    config: SimulationConfig,
+    attention: Optional[AttentionModel],
+    surfing: Optional[MixedSurfingModel],
+    lifecycle: Optional[Lifecycle],
+    rngs: Sequence[np.random.Generator],
+    history_length: int,
+) -> List[SimulationResult]:
+    """Worker entry point: advance one replicate block to completion."""
+    simulator = BatchSimulator(
+        community,
+        ranker,
+        config,
+        attention=attention,
+        surfing=surfing,
+        lifecycle=lifecycle,
+        rngs=rngs,
+        history_length=history_length,
+    )
+    return simulator.run()
+
+
+def run_batch(
+    community: CommunityConfig,
+    ranker: Ranker,
+    config: Optional[SimulationConfig] = None,
+    attention: Optional[AttentionModel] = None,
+    surfing: Optional[MixedSurfingModel] = None,
+    lifecycle: Optional[Lifecycle] = None,
+    replicates: int = 1,
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    seed: RandomSource = None,
+    history_length: int = 0,
+    n_workers: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run ``R`` replicates through the batch engine, optionally sharded.
+
+    With ``n_workers`` > 1 the replicate rows are split into contiguous
+    blocks, one :class:`BatchSimulator` per worker process.  Replicates are
+    independent, so the workers never communicate and the results (ordered
+    by replicate) are identical to the single-process run: each replicate
+    keeps its own generator wherever it executes.
+    """
+    config = config or SimulationConfig()
+    if rngs is None:
+        rngs = spawn_rngs(seed if seed is not None else config.seed, replicates)
+    rngs = list(rngs)
+    if not rngs:
+        return []
+    if n_workers is None or n_workers <= 1 or len(rngs) <= 1:
+        return _run_batch_block(
+            community, ranker, config, attention, surfing, lifecycle,
+            rngs, history_length,
+        )
+
+    n_workers = min(n_workers, len(rngs))
+    blocks = np.array_split(np.arange(len(rngs)), n_workers)
+    results: List[Optional[List[SimulationResult]]] = [None] * n_workers
+    with ProcessPoolExecutor(max_workers=n_workers) as executor:
+        futures = [
+            executor.submit(
+                _run_batch_block,
+                community,
+                ranker,
+                config,
+                attention,
+                surfing,
+                lifecycle,
+                [rngs[i] for i in block],
+                history_length,
+            )
+            for block in blocks
+        ]
+        for index, future in enumerate(futures):
+            results[index] = future.result()
+    flattened: List[SimulationResult] = []
+    for block_results in results:
+        flattened.extend(block_results or [])
+    return flattened
+
+
+__all__ = ["BatchSimulator", "run_batch"]

@@ -14,7 +14,8 @@ Each simulated day the engine:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections import deque
+from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 
@@ -68,7 +69,7 @@ class Simulator:
         self._rng = as_rng(self.config.seed)
         self.pool = PagePool.from_config(community, self._rng)
         self.day = 0
-        self._history: List[np.ndarray] = []
+        self._history: Deque[np.ndarray] = deque(maxlen=self.history_length or None)
 
     # ------------------------------------------------------------------ API
 
@@ -169,14 +170,14 @@ class Simulator:
     def _push_history(self, popularity: np.ndarray) -> None:
         if self.history_length <= 0:
             return
+        # The deque's maxlen evicts the oldest snapshot in O(1), unlike the
+        # previous list.pop(0) which shifted every element daily.
         self._history.append(popularity.copy())
-        if len(self._history) > self.history_length:
-            self._history.pop(0)
 
     def _history_array(self) -> Optional[np.ndarray]:
         if self.history_length <= 0 or len(self._history) < 2:
             return None
-        return np.asarray(self._history)
+        return np.asarray(list(self._history))
 
     def _inject_probe(self, quality: float) -> TrackedPageObserver:
         """Replace one page slot with a fresh page of exactly ``quality``.

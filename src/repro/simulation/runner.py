@@ -3,22 +3,33 @@
 The experiment drivers and benchmarks use these functions instead of wiring
 up a :class:`~repro.simulation.engine.Simulator` by hand, so the warm-up,
 probe-injection and averaging conventions stay identical across figures.
+
+All helpers run their repetitions through the vectorized
+:class:`~repro.simulation.batch.BatchSimulator` by default (``engine=
+"batch"``), which advances every replicate in lockstep as one ``(R, n)``
+array program.  Because the batch engine feeds each replicate from the same
+``spawn_rngs`` stream the sequential loop would use, switching engines never
+changes the numbers: per-replicate results are bit-identical between
+``engine="batch"`` and ``engine="sequential"`` at equal seeds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.community.config import CommunityConfig
 from repro.core.policy import RankPromotionPolicy
+from repro.simulation.batch import run_batch
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import Simulator
 from repro.simulation.result import SimulationResult
 from repro.utils.rng import RandomSource, spawn_rngs
 from repro.visits.attention import AttentionModel
 from repro.visits.surfing import MixedSurfingModel
+
+VALID_ENGINES = ("batch", "sequential")
 
 
 def _run_once(
@@ -39,6 +50,41 @@ def _run_once(
     return simulator.run()
 
 
+def _run_replicates(
+    community: CommunityConfig,
+    policy: RankPromotionPolicy,
+    config: SimulationConfig,
+    attention: Optional[AttentionModel] = None,
+    surfing: Optional[MixedSurfingModel] = None,
+    repetitions: int = 1,
+    seed: RandomSource = None,
+    engine: str = "batch",
+    n_workers: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run all repetitions of one configuration; one result per replicate.
+
+    ``spawn_rngs`` hands replicate ``r`` the same generator regardless of
+    the engine, so the two paths agree replicate-for-replicate.
+    """
+    if engine not in VALID_ENGINES:
+        raise ValueError("engine must be one of %s, got %r" % (VALID_ENGINES, engine))
+    rngs = spawn_rngs(seed, repetitions)
+    if engine == "sequential":
+        return [
+            _run_once(community, policy, config, attention, surfing, rng)
+            for rng in rngs
+        ]
+    return run_batch(
+        community,
+        policy.build_ranker(),
+        config,
+        attention=attention,
+        surfing=surfing,
+        rngs=rngs,
+        n_workers=n_workers,
+    )
+
+
 def measure_qpc(
     community: CommunityConfig,
     policy: RankPromotionPolicy,
@@ -47,15 +93,17 @@ def measure_qpc(
     surfing: Optional[MixedSurfingModel] = None,
     repetitions: int = 1,
     seed: RandomSource = None,
+    engine: str = "batch",
+    n_workers: Optional[int] = None,
 ) -> Dict[str, float]:
     """Measure absolute and normalized QPC for one policy, averaged over runs."""
     config = config or SimulationConfig()
-    rngs = spawn_rngs(seed, repetitions)
-    absolute, normalized = [], []
-    for rng in rngs:
-        result = _run_once(community, policy, config, attention, surfing, rng)
-        absolute.append(result.qpc_absolute)
-        normalized.append(result.qpc_normalized)
+    results = _run_replicates(
+        community, policy, config, attention, surfing,
+        repetitions, seed, engine, n_workers,
+    )
+    absolute = [result.qpc_absolute for result in results]
+    normalized = [result.qpc_normalized for result in results]
     return {
         "qpc_absolute": float(np.mean(absolute)),
         "qpc_normalized": float(np.mean(normalized)),
@@ -72,6 +120,8 @@ def measure_tbp(
     config: Optional[SimulationConfig] = None,
     repetitions: int = 1,
     seed: RandomSource = None,
+    engine: str = "batch",
+    n_workers: Optional[int] = None,
 ) -> Dict[str, float]:
     """Measure the time for a fresh probe page to become popular.
 
@@ -89,10 +139,12 @@ def measure_tbp(
         probe_horizon_days=config.probe_horizon_days,
         snapshot_awareness=False,
     )
-    rngs = spawn_rngs(seed, repetitions)
+    results = _run_replicates(
+        community, policy, config,
+        repetitions=repetitions, seed=seed, engine=engine, n_workers=n_workers,
+    )
     values, censored = [], 0
-    for rng in rngs:
-        result = _run_once(community, policy, config, rng=rng)
+    for result in results:
         if result.tbp_days is None:
             censored += 1
             values.append(float(config.probe_horizon_days))
@@ -114,6 +166,8 @@ def popularity_trajectory(
     config: Optional[SimulationConfig] = None,
     repetitions: int = 1,
     seed: RandomSource = None,
+    engine: str = "batch",
+    n_workers: Optional[int] = None,
 ) -> np.ndarray:
     """Average popularity trajectory of a fresh probe page (Figure 4a style).
 
@@ -129,10 +183,12 @@ def popularity_trajectory(
         probe_horizon_days=horizon_days,
         snapshot_awareness=False,
     )
-    rngs = spawn_rngs(seed, repetitions)
+    results = _run_replicates(
+        community, policy, config,
+        repetitions=repetitions, seed=seed, engine=engine, n_workers=n_workers,
+    )
     trajectories = []
-    for rng in rngs:
-        result = _run_once(community, policy, config, rng=rng)
+    for result in results:
         trajectory = result.probe_trajectory
         if trajectory is None or trajectory.size == 0:
             trajectory = np.zeros(horizon_days)
@@ -153,6 +209,8 @@ def compare_policies(
     surfing: Optional[MixedSurfingModel] = None,
     repetitions: int = 1,
     seed: RandomSource = None,
+    engine: str = "batch",
+    n_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Measure QPC for several policies on the same community settings."""
     results = {}
@@ -165,6 +223,8 @@ def compare_policies(
             surfing=surfing,
             repetitions=repetitions,
             seed=seed,
+            engine=engine,
+            n_workers=n_workers,
         )
     return results
 
@@ -174,4 +234,5 @@ __all__ = [
     "measure_tbp",
     "popularity_trajectory",
     "compare_policies",
+    "VALID_ENGINES",
 ]

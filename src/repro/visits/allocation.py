@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -70,6 +70,63 @@ def rank_visit_shares(
         x = surfing.surfing_fraction
         shares_by_page = (1.0 - x) * shares_by_page + x * surf_shares
     return shares_by_page
+
+
+def rank_visit_shares_batch(
+    rankings: np.ndarray,
+    attention: AttentionModel,
+    surfing=None,
+    popularity: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batched :func:`rank_visit_shares` over ``(R, n)`` rankings.
+
+    Row ``r`` equals ``rank_visit_shares(rankings[r], attention, surfing,
+    popularity[r])`` bit for bit: the scatter places the same share values
+    and the surfing blend applies the same elementwise expression (with each
+    row's popularity total taken over that row alone).
+    """
+    rankings = np.asarray(rankings)
+    R, n = rankings.shape
+    shares_by_rank = attention.visit_shares(n)
+    if out is None:
+        out = np.empty((R, n), dtype=float)
+    rows = np.arange(R, dtype=np.intp)[:, None]
+    out[rows, rankings] = shares_by_rank[None, :]
+    if surfing is not None and not surfing.is_pure_search:
+        if popularity is None:
+            raise ValueError("surfing blend requires the popularity matrix")
+        surf = surfing.surfing_shares_batch(popularity)
+        x = surfing.surfing_fraction
+        out *= 1.0 - x
+        out += x * surf
+    return out
+
+
+def allocate_monitored_visits_batch(
+    shares_by_page: np.ndarray,
+    rate: float,
+    mode: str,
+    rngs: Sequence[np.random.Generator] = (),
+) -> np.ndarray:
+    """Batched :func:`allocate_monitored_visits` over ``(R, n)`` shares.
+
+    Fluid mode is one elementwise product; stochastic mode draws each row's
+    multinomial from that row's generator with the same normalized shares
+    the sequential path would use.
+    """
+    if mode == "fluid":
+        return shares_by_page * rate
+    count = int(round(rate))
+    R, n = shares_by_page.shape
+    if count <= 0:
+        return np.zeros_like(shares_by_page)
+    visits = np.empty((R, n), dtype=float)
+    for row in range(R):
+        row_shares = shares_by_page[row]
+        normalized = row_shares / row_shares.sum()
+        visits[row] = as_rng(rngs[row]).multinomial(count, normalized)
+    return visits
 
 
 def allocate_monitored_visits(

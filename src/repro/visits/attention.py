@@ -35,12 +35,18 @@ class AttentionModel(abc.ABC):
         """
 
     def visit_shares(self, n: int) -> np.ndarray:
-        """Return the fraction of visits going to each rank (sums to one)."""
-        w = np.asarray(self.weights(n), dtype=float)
-        total = w.sum()
-        if total <= 0:
-            raise ValueError("attention weights must have positive total mass")
-        return w / total
+        """Return the fraction of visits going to each rank (sums to one).
+
+        The normalized share vector for a given ``(model, n)`` pair is
+        cached (models are frozen dataclasses, hence hashable), so the
+        simulators stop re-summing the weights on every simulated day.  The
+        returned array is read-only; copy before mutating.  Unhashable
+        custom models fall back to computing the shares each call.
+        """
+        try:
+            return _normalized_shares(self, n)
+        except TypeError:  # unhashable custom model
+            return _compute_shares(self, n)
 
     def visit_rates(self, n: int, total_visits: float) -> np.ndarray:
         """Return the expected visits per rank when ``total_visits`` are issued.
@@ -70,6 +76,21 @@ class PowerLawAttention(AttentionModel):
 
     def describe(self) -> str:
         return "PowerLawAttention(exponent=%.2f)" % self.exponent
+
+
+def _compute_shares(model: "AttentionModel", n: int) -> np.ndarray:
+    w = np.asarray(model.weights(n), dtype=float)
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("attention weights must have positive total mass")
+    return w / total
+
+
+@lru_cache(maxsize=128)
+def _normalized_shares(model: "AttentionModel", n: int) -> np.ndarray:
+    shares = _compute_shares(model, n)
+    shares.setflags(write=False)
+    return shares
 
 
 @lru_cache(maxsize=64)

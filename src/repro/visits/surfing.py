@@ -62,6 +62,29 @@ class MixedSurfingModel:
         link_follow = popularity / total
         return (1.0 - self.teleportation) * link_follow + self.teleportation * teleport
 
+    def surfing_shares_batch(self, popularity: np.ndarray) -> np.ndarray:
+        """Batched :meth:`surfing_shares` over an ``(R, n)`` popularity matrix.
+
+        Row ``r`` equals ``surfing_shares(popularity[r])`` bit for bit: the
+        same blend expression elementwise, with each row's popularity total
+        taken over that row alone, and rows with zero total popularity
+        collapsing to the pure teleport distribution.
+        """
+        popularity = np.asarray(popularity, dtype=float)
+        if popularity.ndim != 2 or popularity.shape[1] == 0:
+            raise ValueError("popularity must be a non-empty (R, n) matrix")
+        n = popularity.shape[1]
+        totals = popularity.sum(axis=1, keepdims=True)
+        teleport = 1.0 / n
+        link_follow = np.divide(
+            popularity, totals, out=np.zeros_like(popularity), where=totals > 0
+        )
+        shares = (
+            (1.0 - self.teleportation) * link_follow
+            + self.teleportation * teleport
+        )
+        return np.where(totals > 0, shares, teleport)
+
     def combine(
         self,
         search_visits: np.ndarray,
