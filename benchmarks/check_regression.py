@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI benchmark regression gate (CLI wrapper around repro.utils.benchgate).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --json bench-batch.json bench-serving.json bench-sweep.json \
+        --baselines benchmarks/baselines/bench-floor.json \
+        --self-test
+
+Compares the ``extra_info`` metrics of pytest-benchmark JSON output against
+the committed floors and exits non-zero when any gated metric regresses by
+more than the baseline file's tolerance (default 25%), or when a gated
+benchmark/metric is missing from the measurement.
+
+``--self-test`` additionally re-runs the comparison with every measured
+value halved (an artificial 2x slowdown) and fails unless the gate rejects
+that — proving the gate actually bites.
+
+Escape hatch: set ``REPRO_SKIP_BENCH_GATE=1`` (CI does this when a pull
+request carries the ``refresh-baselines`` label) to report without failing
+while baselines are being refreshed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.utils.benchgate import run_gate  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", nargs="+", required=True,
+        help="pytest-benchmark JSON files to gate",
+    )
+    parser.add_argument(
+        "--baselines", default="benchmarks/baselines/bench-floor.json",
+        help="committed baseline floor file",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="also verify the gate fails on an artificial 2x slowdown",
+    )
+    args = parser.parse_args(argv)
+
+    findings, tolerance = run_gate(args.json, args.baselines)
+    print("benchmark regression gate (tolerance %.0f%%):" % (100 * tolerance))
+    for finding in findings:
+        print("  " + finding.describe())
+    failed = [finding for finding in findings if not finding.ok]
+
+    if args.self_test:
+        slowed, _ = run_gate(args.json, args.baselines, scale=0.5)
+        slow_failures = [finding for finding in slowed if not finding.ok]
+        if not slow_failures:
+            print("self-test FAILED: a 2x slowdown passed the gate")
+            return 2
+        print(
+            "self-test ok: artificial 2x slowdown rejected "
+            "(%d metric(s) below floor)" % len(slow_failures)
+        )
+
+    if failed:
+        if os.environ.get("REPRO_SKIP_BENCH_GATE") == "1":
+            print(
+                "REPRO_SKIP_BENCH_GATE=1 — %d regression(s) reported but not "
+                "enforced (baseline refresh mode)" % len(failed)
+            )
+            return 0
+        print("%d gated metric(s) regressed beyond tolerance" % len(failed))
+        return 1
+    print("all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

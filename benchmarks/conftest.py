@@ -2,17 +2,19 @@
 
 Each figure benchmark regenerates the data behind one figure of the paper;
 the serving benchmarks drive the online engine under a streaming query
-workload.  By default the drivers run at the ``smoke`` scale so the whole
-harness finishes quickly; set ``REPRO_BENCH_SCALE=fast`` (or ``paper``) to
-regenerate the figures at larger scales, and run with ``pytest -s`` to see
-the rendered series next to the timings.  EXPERIMENTS.md records reference
-output.
+workload; the batch and sweep benchmarks measure the vectorized engines
+against their sequential/independent baselines.  By default the drivers
+run at the ``smoke`` scale so the whole harness finishes quickly; set
+``REPRO_BENCH_SCALE=fast`` (or ``paper``) to regenerate the figures at
+larger scales, and run with ``pytest -s`` to see the rendered series next
+to the timings.  EXPERIMENTS.md records reference output.
 
 All benchmarks report through pytest-benchmark, so one
 ``--benchmark-json=out.json`` run produces a single result file: figure
-benchmarks record their scale/seed, serving benchmarks additionally record
-``queries_per_second``, ``cache_hit_rate`` and the full-re-rank speedup in
-each entry's ``extra_info``.
+benchmarks record their scale/seed, serving/batch/sweep benchmarks
+additionally record their throughput, cache and speedup metrics in each
+entry's ``extra_info``.  CI gates those metrics against the committed
+floors in ``benchmarks/baselines/`` via ``benchmarks/check_regression.py``.
 """
 
 import os

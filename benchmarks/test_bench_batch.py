@@ -65,6 +65,10 @@ def test_bench_batch_pagedays(benchmark, replicates):
         measure_days=measure_days,
         mode="fluid",
         seed=BENCH_SEED,
+        # Pin single-process: run_batch(n_workers=None) now auto-shards from
+        # os.cpu_count(), which would make the gated speedup ratio depend on
+        # the runner's core count instead of the engine's vectorization.
+        n_workers=1,
     )
 
     assert report["parity_bit_identical"] == 1.0

@@ -76,14 +76,22 @@ from repro.simulation import (
 )
 from repro.serving import (
     PopularityState,
+    RecordedTrace,
     ResultPageCache,
     ServingEngine,
     ServingStats,
+    ServingSweep,
     ShardedRouter,
     StreamingWorkload,
+    SweepResult,
+    SweepVariant,
     WorkloadConfig,
+    record_trace,
     run_serving_benchmark,
     run_stream,
+    run_sweep,
+    run_sweep_benchmark,
+    variant_grid,
 )
 from repro.visits import MixedSurfingModel, PowerLawAttention
 
@@ -129,6 +137,14 @@ __all__ = [
     "ServingStats",
     "run_stream",
     "run_serving_benchmark",
+    "RecordedTrace",
+    "record_trace",
+    "ServingSweep",
+    "SweepResult",
+    "SweepVariant",
+    "variant_grid",
+    "run_sweep",
+    "run_sweep_benchmark",
     "MixedSurfingModel",
     "PowerLawAttention",
     "__version__",

@@ -7,6 +7,7 @@ Examples::
     python -m repro figure7a --scale paper
     python -m repro serve-bench --pages 200000 --queries 5000 --shards 8
     python -m repro sim-bench --replicates 32 --sim-mode fluid
+    python -m repro sweep-bench --grid-k 10,20 --grid-r 0.0,0.1 --grid-shards 1,2
     repro figure1
 
 Each experiment prints the same rows/series the corresponding paper figure
@@ -16,6 +17,11 @@ throughput, latency and cache effectiveness against the full-re-rank
 baseline.  ``sim-bench`` measures offline simulation throughput (simulated
 page-days per second) for the vectorized batch engine against the looped
 sequential simulator, including the bit-parity check between the two.
+``sweep-bench`` replays one recorded query stream against a whole grid of
+serving configurations (page length, randomization, cache staleness
+budget, shard count) through the lockstep sweep engine and reports its
+replayed-query throughput against running the variants one at a time,
+including the per-variant bit-parity check.
 """
 
 from __future__ import annotations
@@ -40,8 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment to run (one of: list, serve-bench, sim-bench, %s)"
-        % ", ".join(list_experiments()),
+        help="experiment to run (one of: list, serve-bench, sim-bench, "
+        "sweep-bench, %s)" % ", ".join(list_experiments()),
     )
     parser.add_argument(
         "--scale",
@@ -111,7 +117,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulation.add_argument(
         "--workers", type=int, default=None,
-        help="shard replicate blocks across this many worker processes",
+        help="worker processes for replicate/variant sharding; default "
+        "auto-sizes from os.cpu_count()",
+    )
+
+    sweep = parser.add_argument_group("sweep-bench options")
+    sweep.add_argument(
+        "--sweep-pages", type=int, default=2_000,
+        help="pages per variant community",
+    )
+    sweep.add_argument(
+        "--sweep-queries", type=int, default=2_400,
+        help="recorded queries replayed against every variant",
+    )
+    sweep.add_argument(
+        "--grid-k", default="10,20",
+        help="comma-separated result-page lengths, e.g. '10,20'",
+    )
+    sweep.add_argument(
+        "--grid-r", default="0.0,0.1,0.2,0.3",
+        help="comma-separated randomization degrees, e.g. '0.0,0.1'",
+    )
+    sweep.add_argument(
+        "--grid-stale", default="0,4",
+        help="comma-separated cache staleness budgets (versions of lag)",
+    )
+    sweep.add_argument(
+        "--grid-shards", default="1,2",
+        help="comma-separated shard counts per variant",
+    )
+    sweep.add_argument(
+        "--sweep-cache-size", type=int, default=64,
+        help="result pages cached per shard; 0 disables caching",
+    )
+    sweep.add_argument(
+        "--sweep-flush", type=int, default=64,
+        help="queries between feedback batch flushes in the recorded trace",
+    )
+    sweep.add_argument(
+        "--sweep-feedback-rate", type=float, default=0.2,
+        help="probability a replayed query produces one click",
+    )
+    sweep.add_argument(
+        "--sweep-day-every", type=int, default=None,
+        help="queries between lifecycle days in the trace (default: none)",
     )
     return parser
 
@@ -179,6 +228,44 @@ def run_sim_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_sweep_bench(args: argparse.Namespace) -> int:
+    """Run the batched serving-replay sweep benchmark and print its metrics."""
+    from repro.serving.sweep import (
+        parse_grid_values,
+        run_sweep_benchmark,
+        variant_grid,
+    )
+    from repro.utils.tables import Table
+
+    variants = variant_grid(
+        ks=parse_grid_values(args.grid_k, int),
+        rs=parse_grid_values(args.grid_r, float),
+        staleness_budgets=parse_grid_values(args.grid_stale, int),
+        shard_counts=parse_grid_values(args.grid_shards, int),
+        cache_capacity=args.sweep_cache_size if args.sweep_cache_size > 0 else None,
+    )
+    report = run_sweep_benchmark(
+        n_pages=args.sweep_pages,
+        n_queries=args.sweep_queries,
+        variants=variants,
+        seed=args.seed,
+        feedback_rate=args.sweep_feedback_rate,
+        flush_every=args.sweep_flush,
+        day_every=args.sweep_day_every,
+        n_workers=args.workers,
+    )
+    table = Table(
+        ["metric", "value"],
+        title="sweep-bench — lockstep sweep vs %d independent replays "
+        "(n=%d, %d queries)"
+        % (len(variants), args.sweep_pages, args.sweep_queries),
+    )
+    for key in sorted(report):
+        table.add_row(key, report[key])
+    print(table.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -201,6 +288,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = run_sim_bench(args)
         print()
         print("completed sim-bench in %.1fs" % (time.time() - started))
+        return code
+
+    if args.experiment == "sweep-bench":
+        started = time.time()
+        code = run_sweep_bench(args)
+        print()
+        print("completed sweep-bench in %.1fs" % (time.time() - started))
         return code
 
     try:

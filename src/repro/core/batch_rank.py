@@ -103,6 +103,7 @@ def batched_deterministic_order(
     ages: Optional[np.ndarray],
     tie_breaker: str,
     rngs: Sequence[np.random.Generator],
+    out_tie_keys: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Batched equivalent of ``rankers._deterministic_order`` row by row.
 
@@ -112,6 +113,10 @@ def batched_deterministic_order(
         tie_breaker: one of ``TIE_BREAKERS``.
         rngs: one generator per row; consulted (one ``random(n)`` draw per
             row, same as the sequential path) only for ``"random"``.
+        out_tie_keys: optional ``(R, n)`` float buffer; with
+            ``tie_breaker="random"`` the per-row tie keys are drawn into it,
+            so callers that *maintain* the resulting order (the serving
+            sweep) can keep the keys alongside the permutation.
 
     Returns:
         ``(R, n)`` permutations, each bit-identical to what
@@ -121,7 +126,15 @@ def batched_deterministic_order(
     R, n = scores.shape
     tie_keys = None
     if tie_breaker == "random":
-        tie_keys = np.empty((R, n), dtype=float)
+        tie_keys = (
+            out_tie_keys
+            if out_tie_keys is not None
+            else np.empty((R, n), dtype=float)
+        )
+        if tie_keys.shape != (R, n):
+            raise ValueError(
+                "out_tie_keys must have shape (%d, %d)" % (R, n)
+            )
         for row in range(R):
             rngs[row].random(out=tie_keys[row])
     elif tie_breaker == "age":
@@ -160,6 +173,45 @@ def batched_merge_counts(
     np.maximum(counts, lower, out=counts)
     np.minimum(counts, n_promoted.astype(np.int32)[:, None], out=counts)
     return counts
+
+
+def batched_prefix_promotion_slots(
+    flips: np.ndarray, n_deterministic: np.ndarray, n_promoted: np.ndarray
+) -> np.ndarray:
+    """Promotion-slot masks for the first ``k`` slots of many merges at once.
+
+    The serving engine's prefix-only randomized promotion
+    (:meth:`ServingEngine._merge_prefix <repro.serving.engine.ServingEngine>`)
+    decides, for the ``k`` visible slots alone, which slots take from the
+    promotion pool: the merge coins are flipped for the unprotected visible
+    slots, promotions are truncated when the pool drains, and trailing slots
+    are forced onto the pool when the deterministic list drains inside the
+    page.  All three behaviours are the clipped-cumsum slot algebra of
+    :func:`batched_merge_counts` restricted to the page prefix — the running
+    count only ever depends on earlier slots — so one batched call covers
+    every merge in the batch.
+
+    Args:
+        flips: ``(L, k_max)`` coin matrix, ``True`` where a slot's coin asks
+            for the promotion list.  Rows serving fewer than ``k_max`` slots
+            (and protected prefixes) must be ``False``-padded; padding never
+            flips because undrawn coins never pass the bias test.
+        n_deterministic: ``(L,)`` size of each row's unpromoted list.
+        n_promoted: ``(L,)`` size of each row's promotion pool.
+
+    Returns:
+        ``(L, k_max)`` boolean matrix; row ``i`` sliced to its page length
+        ``k_i`` equals the ``slots`` vector the sequential ``_merge_prefix``
+        builds, provided ``k_i <= n_deterministic[i] + n_promoted[i]`` (which
+        ``top_k``'s ``k = min(k, n)`` clamp guarantees).  The number of
+        promoted slots in the page is the row's clipped count at ``k_i - 1``,
+        i.e. ``slots[i, :k_i].sum()``.
+    """
+    counts = batched_merge_counts(flips, n_deterministic, n_promoted)
+    slots = np.empty(flips.shape, dtype=bool)
+    slots[:, 0] = counts[:, 0] > 0
+    np.greater(counts[:, 1:], counts[:, :-1], out=slots[:, 1:])
+    return slots
 
 
 def batched_promotion_merge(
@@ -235,5 +287,6 @@ __all__ = [
     "batched_deterministic_order",
     "batched_promotion_merge",
     "batched_merge_counts",
+    "batched_prefix_promotion_slots",
     "TIE_BREAKERS",
 ]

@@ -30,7 +30,17 @@ from repro.serving.workload import (
     WorkloadConfig,
     run_stream,
 )
+from repro.serving.workload import RecordedTrace, record_trace
 from repro.serving.bench import run_serving_benchmark
+from repro.serving.sweep import (
+    ServingSweep,
+    SweepResult,
+    SweepVariant,
+    build_variant_router,
+    run_sweep,
+    run_sweep_benchmark,
+    variant_grid,
+)
 
 __all__ = [
     "PopularityState",
@@ -42,7 +52,16 @@ __all__ = [
     "stable_shard_hash",
     "StreamingWorkload",
     "WorkloadConfig",
+    "RecordedTrace",
+    "record_trace",
     "ServingStats",
     "run_stream",
     "run_serving_benchmark",
+    "ServingSweep",
+    "SweepResult",
+    "SweepVariant",
+    "variant_grid",
+    "build_variant_router",
+    "run_sweep",
+    "run_sweep_benchmark",
 ]

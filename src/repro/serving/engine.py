@@ -93,6 +93,7 @@ class ServingEngine:
         self._order: Optional[np.ndarray] = None
         self._tie_key: Optional[np.ndarray] = None
         self._order_version = -1
+        self._dirty_scratch: Optional[np.ndarray] = None  # reusable repair mask
         # The selective rule's pool (zero-awareness pages) is maintained
         # incrementally; other rules compute their pool per query.
         self._selective = policy.rule == "selective" and not policy.is_deterministic
@@ -196,12 +197,25 @@ class ServingEngine:
             self._order = np.lexsort((self._tie_key, -pop))
             self.full_sorts += 1
             return
-        dirty_mask = np.zeros(n, dtype=bool)
+        if self._dirty_scratch is None or self._dirty_scratch.size != n:
+            self._dirty_scratch = np.zeros(n, dtype=bool)
+        dirty_mask = self._dirty_scratch
         dirty_mask[dirty] = True
         keep = self._order[~dirty_mask[self._order]]
+        dirty_mask[dirty] = False  # leave the scratch clean for the next repair
         moved = dirty[np.argsort(-pop[dirty], kind="stable")]
         positions = np.searchsorted(-pop[keep], -pop[moved], side="right")
-        self._order = np.insert(keep, positions, moved)
+        # Equivalent to np.insert(keep, positions, moved) — positions are
+        # nondecreasing (moved is sorted), so each inserted element lands at
+        # its original position plus the number of insertions before it —
+        # without np.insert's generic-case overhead on the serving hot path.
+        merged = np.empty(n, dtype=self._order.dtype)
+        slots = positions + np.arange(moved.size)
+        keep_mask = np.ones(n, dtype=bool)
+        keep_mask[slots] = False
+        merged[slots] = moved
+        merged[keep_mask] = keep
+        self._order = merged
         self.repairs += 1
 
     # ------------------------------------------------------ prefix serving
@@ -275,6 +289,8 @@ class ServingEngine:
         while got < need and start < n:
             segment = self._order[start : start + chunk]
             segment = segment[~mask[segment]]
+            if not parts and segment.size >= need:
+                return segment[:need]  # common case: one chunk suffices
             parts.append(segment)
             got += segment.size
             start += chunk

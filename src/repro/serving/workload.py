@@ -78,6 +78,106 @@ class StreamingWorkload:
             remaining -= min(block, remaining)
 
 
+@dataclass(frozen=True)
+class RecordedTrace:
+    """A replayable recording of a query stream, one array per random draw.
+
+    Replaying the *same* workload against many serving variants requires the
+    stream's randomness to be fixed up front: which query arrives next,
+    whether the user clicks, and *where* in the result page the click lands.
+    The click position is recorded as the raw uniform draw rather than a
+    rank, because the rank depends on the variant's page length ``k`` (the
+    draw is inverted through each variant's attention CDF at replay time);
+    the clicked *page* then additionally depends on the variant's served
+    results, so it cannot be recorded at all — it is recomputed per variant.
+
+    Attributes:
+        query_ids: per-query ids in arrival order.
+        coin_u: per-query uniforms; a query produces click feedback when its
+            coin is below ``feedback_rate``.
+        position_u: per-query uniforms inverted through the attention CDF to
+            pick the clicked rank.
+        feedback_rate: probability a served query produces one click.
+        flush_every: queries between feedback batch flushes.
+        day_every: queries between lifecycle days (``None`` disables
+            lifecycle stepping; days flush buffered feedback first).
+    """
+
+    query_ids: np.ndarray
+    coin_u: np.ndarray
+    position_u: np.ndarray
+    feedback_rate: float = 0.2
+    flush_every: int = 64
+    day_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        queries = np.asarray(self.query_ids)
+        if np.asarray(self.coin_u).shape != queries.shape:
+            raise ValueError("coin_u must have one entry per query")
+        if np.asarray(self.position_u).shape != queries.shape:
+            raise ValueError("position_u must have one entry per query")
+        check_probability("feedback_rate", self.feedback_rate)
+        check_positive_int("flush_every", self.flush_every)
+        if self.day_every is not None:
+            check_positive_int("day_every", self.day_every)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of recorded queries."""
+        return int(np.asarray(self.query_ids).size)
+
+    def boundaries(self) -> np.ndarray:
+        """Positions (1-based query counts) where buffered state changes.
+
+        A boundary is any multiple of ``flush_every`` or ``day_every``
+        within the stream, plus the stream end.  Between two consecutive
+        boundaries no feedback is applied and no lifecycle day runs, so
+        every variant's popularity state is frozen — the invariant the
+        lockstep sweep engine builds its windows on.
+        """
+        total = self.n_queries
+        if total == 0:
+            return np.zeros(0, dtype=int)
+        marks = set(range(self.flush_every, total, self.flush_every))
+        if self.day_every is not None:
+            marks.update(range(self.day_every, total, self.day_every))
+        marks.add(total)
+        return np.asarray(sorted(marks), dtype=int)
+
+
+def record_trace(
+    workload: Optional[StreamingWorkload] = None,
+    n_queries: int = 1_000,
+    seed: RandomSource = None,
+    day_every: Optional[int] = None,
+) -> RecordedTrace:
+    """Record ``n_queries`` of a streaming workload as a replayable trace.
+
+    The workload's generator is consumed for the query ids and for the
+    per-query click coins/positions, so equal-seed workloads record equal
+    traces.  As in :func:`run_stream`, passing both a pre-seeded workload
+    and a ``seed`` is rejected.
+    """
+    if n_queries < 0:
+        raise ValueError("n_queries must be non-negative, got %d" % n_queries)
+    if workload is not None and seed is not None:
+        raise ValueError(
+            "pass seed either to the workload or to record_trace, not both: "
+            "a provided workload already carries its own random stream"
+        )
+    if workload is None:
+        workload = StreamingWorkload(seed=seed)
+    config = workload.config
+    return RecordedTrace(
+        query_ids=workload.sample_queries(n_queries),
+        coin_u=workload.rng.random(n_queries),
+        position_u=workload.rng.random(n_queries),
+        feedback_rate=config.feedback_rate,
+        flush_every=config.flush_every,
+        day_every=day_every,
+    )
+
+
 @dataclass
 class ServingStats:
     """Outcome of one streaming run against a router."""
@@ -159,4 +259,11 @@ def run_stream(
     return stats
 
 
-__all__ = ["WorkloadConfig", "StreamingWorkload", "ServingStats", "run_stream"]
+__all__ = [
+    "WorkloadConfig",
+    "StreamingWorkload",
+    "RecordedTrace",
+    "record_trace",
+    "ServingStats",
+    "run_stream",
+]

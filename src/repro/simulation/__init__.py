@@ -24,7 +24,7 @@ from repro.simulation.observers import (
     QPCObserver,
     TrackedPageObserver,
 )
-from repro.simulation.replay import replay_day
+from repro.simulation.replay import TraceReplayResult, replay_day, replay_trace
 from repro.simulation.result import SimulationResult
 from repro.simulation.runner import (
     compare_policies,
@@ -48,4 +48,6 @@ __all__ = [
     "popularity_trajectory",
     "compare_policies",
     "replay_day",
+    "replay_trace",
+    "TraceReplayResult",
 ]

@@ -40,6 +40,7 @@ from repro.metrics.qpc import QPCAccumulator
 from repro.metrics.tbp import tbp_from_trajectory
 from repro.simulation.config import SimulationConfig
 from repro.simulation.result import SimulationResult
+from repro.utils.parallel import default_workers
 from repro.utils.rng import RandomSource, spawn_rngs
 from repro.visits.allocation import (
     allocate_monitored_visits_batch,
@@ -292,11 +293,18 @@ def run_batch(
 ) -> List[SimulationResult]:
     """Run ``R`` replicates through the batch engine, optionally sharded.
 
-    With ``n_workers`` > 1 the replicate rows are split into contiguous
+    With more than one worker the replicate rows are split into contiguous
     blocks, one :class:`BatchSimulator` per worker process.  Replicates are
     independent, so the workers never communicate and the results (ordered
     by replicate) are identical to the single-process run: each replicate
     keeps its own generator wherever it executes.
+
+    ``n_workers=None`` auto-sizes the pool from ``os.cpu_count()`` through
+    :func:`repro.utils.parallel.default_workers`: hosts with spare cores
+    shard large replicate batches automatically, while small batches (fewer
+    than :data:`~repro.utils.parallel.MIN_TASKS_PER_WORKER` replicates per
+    prospective worker) stay in-process where they are faster.  Pass
+    ``n_workers=1`` to force the in-process path.
     """
     config = config or SimulationConfig()
     if rngs is None:
@@ -304,13 +312,13 @@ def run_batch(
     rngs = list(rngs)
     if not rngs:
         return []
-    if n_workers is None or n_workers <= 1 or len(rngs) <= 1:
+    n_workers = default_workers(len(rngs), n_workers)
+    if n_workers <= 1:
         return _run_batch_block(
             community, ranker, config, attention, surfing, lifecycle,
             rngs, history_length,
         )
 
-    n_workers = min(n_workers, len(rngs))
     blocks = np.array_split(np.arange(len(rngs)), n_workers)
     results: List[Optional[List[SimulationResult]]] = [None] * n_workers
     with ProcessPoolExecutor(max_workers=n_workers) as executor:

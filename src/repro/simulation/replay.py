@@ -1,27 +1,48 @@
-"""Parity adapter: replay a simulator day through the serving engine.
+"""Parity adapters: ground-truth replays against the serving engine.
 
-:func:`replay_day` performs exactly the sequence of
-:meth:`Simulator.step <repro.simulation.engine.Simulator.step>` — full
-ranking, attention shares, optional surfing blend, monitored-visit
-allocation, awareness update, lifecycle — but against a
-:class:`~repro.serving.engine.ServingEngine`'s incremental state, consuming
-the engine's random stream in the same order the simulator consumes its
-own.  Every parity-critical computation is shared code, not a copy: the
-share blend and visit allocation live in :mod:`repro.visits.allocation`
-and the awareness update in :func:`repro.community.page.awareness_gain`,
-each called by both paths.  An engine and a simulator built from equal
-seeds therefore produce bit-identical visit allocations day after day,
-which is what the serving parity tests assert; any drift between the
-online and offline paths shows up as a hard array mismatch rather than a
-statistical anomaly.
+Two replay paths live here, both defined as *the* reference semantics that
+faster engines must match bit for bit:
+
+* :func:`replay_day` performs exactly the sequence of
+  :meth:`Simulator.step <repro.simulation.engine.Simulator.step>` — full
+  ranking, attention shares, optional surfing blend, monitored-visit
+  allocation, awareness update, lifecycle — but against a
+  :class:`~repro.serving.engine.ServingEngine`'s incremental state,
+  consuming the engine's random stream in the same order the simulator
+  consumes its own.  Every parity-critical computation is shared code, not
+  a copy: the share blend and visit allocation live in
+  :mod:`repro.visits.allocation` and the awareness update in
+  :func:`repro.community.page.awareness_gain`, each called by both paths.
+* :func:`replay_trace` drives one
+  :class:`~repro.serving.workload.RecordedTrace` through a
+  :class:`~repro.serving.router.ShardedRouter`, one query at a time —
+  serve, maybe click, buffer feedback, flush on schedule.  This is the
+  standalone single-variant replay the batched sweep engine
+  (:mod:`repro.serving.sweep`) must reproduce per variant, and the
+  baseline it is benchmarked against.
+
+An engine and a simulator built from equal seeds therefore produce
+bit-identical visit allocations day after day, and a sweep row and a
+standalone router built from equal seeds produce bit-identical result
+pages, clicks and final state; any drift between the online and offline
+(or batched and sequential) paths shows up as a hard digest/array mismatch
+rather than a statistical anomaly.
 """
 
 from __future__ import annotations
 
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
 import numpy as np
 
 from repro.serving.engine import ServingEngine
+from repro.serving.router import ShardedRouter
+from repro.serving.workload import RecordedTrace
 from repro.visits.allocation import allocate_monitored_visits, rank_visit_shares
+from repro.visits.attention import AttentionModel, PowerLawAttention
 
 
 def replay_day(engine: ServingEngine) -> np.ndarray:
@@ -50,4 +71,133 @@ def replay_day(engine: ServingEngine) -> np.ndarray:
     return visits_all_users
 
 
-__all__ = ["replay_day"]
+@dataclass
+class TraceReplayResult:
+    """Outcome of replaying one recorded trace against one serving variant.
+
+    The result pages and clicked page indices are folded into running CRC32
+    digests (in query order) instead of being stored: two replays served
+    identical pages and clicked identical results if and only if their
+    digests match, and a digest comparison does not grow with the stream.
+    Full pages can additionally be retained for debugging via
+    ``record_pages``.
+
+    Attributes:
+        queries: queries replayed.
+        feedback_events: clicks fed back into the popularity state.
+        pages_crc: CRC32 over every served result page, in query order.
+        clicked_crc: CRC32 over every clicked page index, in click order.
+        stats: the router's flat counter dictionary (routing + cache).
+        final_awareness: per-shard awareness counts after the replay.
+        final_versions: per-shard popularity-state versions after the replay.
+        elapsed_seconds: wall time of the replay.
+        pages: served pages per query when recorded, else ``None``.
+    """
+
+    queries: int = 0
+    feedback_events: int = 0
+    pages_crc: int = 0
+    clicked_crc: int = 0
+    stats: Dict[str, float] = field(default_factory=dict)
+    final_awareness: List[np.ndarray] = field(default_factory=list)
+    final_versions: List[int] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    pages: Optional[List[np.ndarray]] = None
+
+    def matches(self, other: "TraceReplayResult") -> bool:
+        """Whether two replays are bit-identical (digests, stats, state)."""
+        return (
+            self.queries == other.queries
+            and self.feedback_events == other.feedback_events
+            and self.pages_crc == other.pages_crc
+            and self.clicked_crc == other.clicked_crc
+            and self.stats == other.stats
+            and self.final_versions == other.final_versions
+            and len(self.final_awareness) == len(other.final_awareness)
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(self.final_awareness, other.final_awareness)
+            )
+        )
+
+
+def snapshot_router(router: ShardedRouter) -> TraceReplayResult:
+    """Capture a router's post-replay state into a result shell.
+
+    Fills the stats/state fields shared by both replay paths; the caller
+    owns the digests and counters.
+    """
+    return TraceReplayResult(
+        stats=router.stats(),
+        final_awareness=[
+            engine.state.pool.aware_count.copy() for engine in router.engines
+        ],
+        final_versions=[engine.state.version for engine in router.engines],
+    )
+
+
+def replay_trace(
+    router: ShardedRouter,
+    trace: RecordedTrace,
+    k: int,
+    attention: Optional[AttentionModel] = None,
+    record_pages: bool = False,
+) -> TraceReplayResult:
+    """Replay a recorded query stream through a router, query by query.
+
+    For every recorded query the routed shard serves its top-``k`` page;
+    when the query's recorded coin lands below the trace's feedback rate,
+    the recorded position uniform is inverted through the attention CDF
+    over the ``k`` visible ranks (clamped to the served page, as in
+    :func:`~repro.serving.workload.run_stream`) and the clicked page is
+    buffered as feedback for the shard.  Feedback flushes every
+    ``flush_every`` queries, lifecycle days run every ``day_every`` when
+    recorded, and a final flush closes the stream.
+
+    This per-query loop is the ground truth: the sweep engine's lockstep
+    replay must produce an identical :class:`TraceReplayResult` for every
+    variant, and is benchmarked against this function.
+    """
+    attention = attention or PowerLawAttention()
+    click_cdf = np.cumsum(attention.visit_shares(max(int(k), 1)))
+    flush_every = trace.flush_every
+    day_every = trace.day_every
+
+    pages_crc = 0
+    clicked: List[int] = []
+    feedback_events = 0
+    pages_log: Optional[List[np.ndarray]] = [] if record_pages else None
+
+    started = time.perf_counter()
+    for served, query_id in enumerate(np.asarray(trace.query_ids), start=1):
+        query_id = int(query_id)
+        page = router.serve(query_id, k)
+        pages_crc = zlib.crc32(page.tobytes(), pages_crc)
+        if pages_log is not None:
+            pages_log.append(np.array(page, copy=True))
+        if trace.coin_u[served - 1] < trace.feedback_rate:
+            position = int(
+                np.searchsorted(click_cdf, trace.position_u[served - 1], side="right")
+            )
+            position = min(position, page.size - 1)
+            clicked.append(int(page[position]))
+            router.submit_feedback(query_id, clicked[-1])
+            feedback_events += 1
+        if served % flush_every == 0:
+            router.flush_feedback()
+        if day_every is not None and served % day_every == 0:
+            router.advance_day()
+    router.flush_feedback()
+    elapsed = time.perf_counter() - started
+
+    result = snapshot_router(router)
+    result.queries = trace.n_queries
+    result.feedback_events = feedback_events
+    result.pages_crc = pages_crc
+    result.clicked_crc = zlib.crc32(np.asarray(clicked, dtype=np.int64).tobytes())
+    result.elapsed_seconds = elapsed
+    result.pages = pages_log
+    return result
+
+
+__all__ = ["replay_day", "replay_trace", "snapshot_router", "TraceReplayResult"]

@@ -1,0 +1,146 @@
+"""Benchmark regression gate: compare benchmark JSON against committed floors.
+
+CI runs the smoke benchmarks with ``pytest-benchmark --benchmark-json`` and
+then gates the build on the metrics each benchmark exports through
+``extra_info``.  The gated metrics are deliberately *relative* (speedup of
+the batch engine over the looped simulator, of the serving path over a full
+re-rank, of the lockstep sweep over independent replays): absolute
+throughput on shared CI runners swings by integer factors with the host,
+but a ratio measured inside one process is machine-independent — and a
+``>tolerance`` drop in the optimized path's throughput (with its in-run
+baseline unchanged) lowers the ratio by exactly the same fraction, so the
+gate catches real regressions without flaking on slow runners.
+
+The baseline file (``benchmarks/baselines/*.json``) maps benchmark names to
+``{metric: reference}``; a measured value below ``reference * (1 -
+tolerance)`` fails the gate, as does a gated benchmark or metric that is
+missing from the measurement (so silently dropping a bench cannot pass).
+``benchmarks/check_regression.py`` is the CLI wrapper; its ``--self-test``
+mode re-runs the comparison with every measured value halved — an
+artificial 2x slowdown — and requires that the gate rejects it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One gated (benchmark, metric) comparison."""
+
+    benchmark: str
+    metric: str
+    reference: float
+    floor: float
+    measured: float  # NaN when the benchmark/metric is missing
+    ok: bool
+
+    def describe(self) -> str:
+        """One report line."""
+        status = "ok  " if self.ok else "FAIL"
+        if self.measured != self.measured:  # NaN: missing measurement
+            return "%s %s :: %s — MISSING (floor %.4g)" % (
+                status, self.benchmark, self.metric, self.floor,
+            )
+        return "%s %s :: %s = %.4g (floor %.4g, reference %.4g)" % (
+            status, self.benchmark, self.metric,
+            self.measured, self.floor, self.reference,
+        )
+
+
+def load_baselines(path) -> Tuple[Dict[str, Dict[str, float]], float]:
+    """Load a baseline file; returns (benchmarks mapping, tolerance)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    tolerance = float(data.get("tolerance", DEFAULT_TOLERANCE))
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError("tolerance must lie in (0, 1), got %r" % tolerance)
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise ValueError("baseline file %s has no 'benchmarks' mapping" % path)
+    return (
+        {
+            str(name): {str(metric): float(value) for metric, value in refs.items()}
+            for name, refs in benchmarks.items()
+        },
+        tolerance,
+    )
+
+
+def collect_measurements(json_paths: Iterable) -> Dict[str, Dict[str, float]]:
+    """Merge the ``extra_info`` metrics of several pytest-benchmark JSONs.
+
+    Returns ``{benchmark name: {metric: value}}``.  Non-numeric extra-info
+    entries (scale tags etc.) are skipped.
+    """
+    measurements: Dict[str, Dict[str, float]] = {}
+    for path in json_paths:
+        with open(path) as handle:
+            data = json.load(handle)
+        for entry in data.get("benchmarks", []):
+            metrics = measurements.setdefault(str(entry.get("name")), {})
+            for metric, value in (entry.get("extra_info") or {}).items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                metrics[str(metric)] = float(value)
+    return measurements
+
+
+def check_measurements(
+    measurements: Dict[str, Dict[str, float]],
+    baselines: Dict[str, Dict[str, float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    scale: float = 1.0,
+) -> List[GateFinding]:
+    """Compare measurements against baseline floors.
+
+    ``scale`` multiplies every measured value before the comparison; the
+    self-test passes ``0.5`` to simulate a uniform 2x throughput loss and
+    assert the gate would catch it.
+    """
+    findings: List[GateFinding] = []
+    nan = float("nan")
+    for benchmark, references in sorted(baselines.items()):
+        present = measurements.get(benchmark)
+        for metric, reference in sorted(references.items()):
+            floor = reference * (1.0 - tolerance)
+            if present is None or metric not in present:
+                findings.append(
+                    GateFinding(benchmark, metric, reference, floor, nan, False)
+                )
+                continue
+            measured = present[metric] * scale
+            findings.append(
+                GateFinding(
+                    benchmark, metric, reference, floor, measured,
+                    measured >= floor,
+                )
+            )
+    return findings
+
+
+def run_gate(
+    json_paths: Iterable,
+    baseline_path,
+    scale: float = 1.0,
+) -> Tuple[List[GateFinding], float]:
+    """Load everything and compare; returns (findings, tolerance)."""
+    baselines, tolerance = load_baselines(baseline_path)
+    measurements = collect_measurements([Path(p) for p in json_paths])
+    return check_measurements(measurements, baselines, tolerance, scale), tolerance
+
+
+__all__ = [
+    "GateFinding",
+    "load_baselines",
+    "collect_measurements",
+    "check_measurements",
+    "run_gate",
+    "DEFAULT_TOLERANCE",
+]

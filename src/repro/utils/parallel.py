@@ -1,0 +1,60 @@
+"""Worker-count resolution for process-pool sharding.
+
+``run_batch`` (replicate sharding) and ``run_sweep`` (variant sharding) both
+split independent units of work across a ``ProcessPoolExecutor``.  The
+resolution rule lives here so every entry point agrees on it:
+
+* an explicit request is honoured (clamped to the task count);
+* ``None`` auto-sizes from :func:`os.cpu_count`, but only engages extra
+  workers when every worker would receive at least
+  ``min_tasks_per_worker`` tasks — process start-up plus result pickling
+  costs real time, and sharding four replicates four ways is slower than
+  not sharding at all;
+* the answer is never below one, so callers can compare ``workers <= 1``
+  to pick the in-process path.
+
+Results never depend on the worker count: each task keeps its own random
+stream wherever it executes, so sharding is a pure throughput decision.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Auto-sharding engages only when each worker would get at least this many
+#: independent tasks (replicates or sweep variants).
+MIN_TASKS_PER_WORKER = 8
+
+
+def default_workers(
+    tasks: int,
+    requested: Optional[int] = None,
+    min_tasks_per_worker: int = MIN_TASKS_PER_WORKER,
+) -> int:
+    """Resolve the number of pool workers for ``tasks`` independent tasks.
+
+    Args:
+        tasks: number of independent work units to shard.
+        requested: an explicit worker count, or ``None`` to auto-size from
+            ``os.cpu_count()``.
+        min_tasks_per_worker: auto-sizing floor — with fewer tasks per
+            worker than this, the pool overhead outweighs the parallelism
+            and the in-process path wins.
+
+    Returns:
+        A worker count in ``[1, tasks]`` (always 1 for empty task lists).
+    """
+    if min_tasks_per_worker < 1:
+        raise ValueError(
+            "min_tasks_per_worker must be >= 1, got %d" % min_tasks_per_worker
+        )
+    if tasks <= 1:
+        return 1
+    if requested is not None:
+        return max(1, min(int(requested), tasks))
+    cores = os.cpu_count() or 1
+    return max(1, min(cores, tasks // min_tasks_per_worker))
+
+
+__all__ = ["default_workers", "MIN_TASKS_PER_WORKER"]

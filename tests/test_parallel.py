@@ -1,0 +1,65 @@
+"""Tests for worker-count resolution and its wiring into run_batch."""
+
+from unittest import mock
+
+import pytest
+
+from repro.core.policy import RECOMMENDED_POLICY
+from repro.simulation import SimulationConfig, run_batch
+from repro.utils.parallel import MIN_TASKS_PER_WORKER, default_workers
+
+
+class TestDefaultWorkers:
+    def test_explicit_request_honoured_and_clamped(self):
+        assert default_workers(100, requested=4) == 4
+        assert default_workers(3, requested=8) == 3  # never more than tasks
+        assert default_workers(10, requested=0) == 1
+        assert default_workers(10, requested=-2) == 1
+
+    def test_trivial_task_counts(self):
+        assert default_workers(0) == 1
+        assert default_workers(1) == 1
+        assert default_workers(1, requested=16) == 1
+
+    def test_auto_respects_cpu_count(self):
+        with mock.patch("repro.utils.parallel.os.cpu_count", return_value=4):
+            # Plenty of tasks: one worker per core.
+            assert default_workers(64) == 4
+            # Too few tasks per prospective worker: stay in-process.
+            assert default_workers(MIN_TASKS_PER_WORKER - 1) == 1
+            # Exactly one worker's worth engages no pool.
+            assert default_workers(MIN_TASKS_PER_WORKER) == 1
+            # Two workers' worth engages two.
+            assert default_workers(2 * MIN_TASKS_PER_WORKER) == 2
+
+    def test_auto_single_core_stays_in_process(self):
+        with mock.patch("repro.utils.parallel.os.cpu_count", return_value=1):
+            assert default_workers(1000) == 1
+
+    def test_cpu_count_unknown_falls_back_to_one(self):
+        with mock.patch("repro.utils.parallel.os.cpu_count", return_value=None):
+            assert default_workers(1000) == 1
+
+    def test_min_tasks_per_worker_validated(self):
+        with pytest.raises(ValueError):
+            default_workers(10, min_tasks_per_worker=0)
+
+
+class TestRunBatchAutoWorkers:
+    def test_auto_workers_results_identical(self, tiny_community):
+        """run_batch(n_workers=None) auto-shards without changing results.
+
+        The ROADMAP bugfix: ``None`` used to silently mean single-process;
+        it now means "size the pool from os.cpu_count()" — and because each
+        replicate keeps its own generator wherever it runs, the results are
+        identical whatever the resolved worker count is.
+        """
+        config = SimulationConfig(warmup_days=2, measure_days=3, seed=11)
+        ranker = RECOMMENDED_POLICY.build_ranker()
+        auto = run_batch(tiny_community, ranker, config, replicates=4)
+        forced = run_batch(
+            tiny_community, ranker, config, replicates=4, n_workers=2
+        )
+        assert [r.qpc_absolute for r in auto] == [
+            r.qpc_absolute for r in forced
+        ]

@@ -1,0 +1,147 @@
+"""Tests for the CI benchmark regression gate (repro.utils.benchgate)."""
+
+import json
+
+import pytest
+
+from repro.utils.benchgate import (
+    check_measurements,
+    collect_measurements,
+    load_baselines,
+    run_gate,
+)
+
+
+@pytest.fixture
+def baseline_file(tmp_path):
+    path = tmp_path / "floor.json"
+    path.write_text(
+        json.dumps(
+            {
+                "tolerance": 0.25,
+                "benchmarks": {
+                    "bench_a[32]": {"speedup": 4.0},
+                    "bench_b": {"speedup": 2.0, "hit_rate": 0.9},
+                },
+            }
+        )
+    )
+    return path
+
+
+@pytest.fixture
+def measurement_file(tmp_path):
+    path = tmp_path / "out.json"
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {
+                        "name": "bench_a[32]",
+                        "extra_info": {"speedup": 3.9, "scale": "smoke"},
+                    },
+                    {
+                        "name": "bench_b",
+                        "extra_info": {"speedup": 2.2, "hit_rate": 0.95},
+                    },
+                    {"name": "ungated_bench", "extra_info": {"speedup": 0.1}},
+                ]
+            }
+        )
+    )
+    return path
+
+
+def test_gate_passes_within_tolerance(baseline_file, measurement_file):
+    findings, tolerance = run_gate([measurement_file], baseline_file)
+    assert tolerance == 0.25
+    assert len(findings) == 3  # ungated benchmarks are ignored
+    assert all(finding.ok for finding in findings)
+
+
+def test_gate_fails_beyond_tolerance(baseline_file, measurement_file):
+    # 25% tolerance on a reference of 4.0 puts the floor at 3.0; a measured
+    # 2.9 (a ~28% regression) must fail while 3.1 passes.
+    measurements = collect_measurements([measurement_file])
+    measurements["bench_a[32]"]["speedup"] = 2.9
+    baselines, tolerance = load_baselines(baseline_file)
+    findings = check_measurements(measurements, baselines, tolerance)
+    failed = [f for f in findings if not f.ok]
+    assert [f.benchmark for f in failed] == ["bench_a[32]"]
+    measurements["bench_a[32]"]["speedup"] = 3.1
+    findings = check_measurements(measurements, baselines, tolerance)
+    assert all(f.ok for f in findings)
+
+
+def test_artificial_2x_slowdown_fails(baseline_file, measurement_file):
+    """The documented self-test: halved throughput must trip the gate."""
+    findings, _ = run_gate([measurement_file], baseline_file, scale=0.5)
+    assert any(not finding.ok for finding in findings)
+
+
+def test_missing_benchmark_or_metric_fails(baseline_file, tmp_path):
+    sparse = tmp_path / "sparse.json"
+    sparse.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": "bench_b", "extra_info": {"speedup": 2.2}}
+                ]
+            }
+        )
+    )
+    findings, _ = run_gate([sparse], baseline_file)
+    failed = {(f.benchmark, f.metric) for f in findings if not f.ok}
+    # bench_a missing entirely, bench_b missing its hit_rate metric.
+    assert failed == {("bench_a[32]", "speedup"), ("bench_b", "hit_rate")}
+    for finding in findings:
+        assert isinstance(finding.describe(), str)
+
+
+def test_measurements_merged_across_files(baseline_file, tmp_path):
+    one = tmp_path / "one.json"
+    one.write_text(
+        json.dumps(
+            {"benchmarks": [{"name": "bench_a[32]", "extra_info": {"speedup": 4.2}}]}
+        )
+    )
+    two = tmp_path / "two.json"
+    two.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": "bench_b", "extra_info": {"speedup": 2.0, "hit_rate": 0.9}}
+                ]
+            }
+        )
+    )
+    findings, _ = run_gate([one, two], baseline_file)
+    assert all(finding.ok for finding in findings)
+
+
+def test_invalid_baseline_files_rejected(tmp_path):
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"benchmarks": {}}))
+    with pytest.raises(ValueError):
+        load_baselines(empty)
+    bad_tolerance = tmp_path / "bad.json"
+    bad_tolerance.write_text(
+        json.dumps({"tolerance": 1.5, "benchmarks": {"a": {"m": 1.0}}})
+    )
+    with pytest.raises(ValueError):
+        load_baselines(bad_tolerance)
+
+
+def test_committed_baseline_file_loads():
+    """The floors CI actually uses must stay well-formed."""
+    from pathlib import Path
+
+    committed = (
+        Path(__file__).resolve().parent.parent
+        / "benchmarks" / "baselines" / "bench-floor.json"
+    )
+    baselines, tolerance = load_baselines(committed)
+    assert 0 < tolerance < 1
+    assert "test_bench_sweep_lockstep[32]" in baselines
+    assert "test_bench_batch_pagedays[32]" in baselines
+    assert "test_bench_serving_topk[200000]" in baselines
