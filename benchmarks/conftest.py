@@ -27,6 +27,7 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
 #: Serving metrics copied into pytest-benchmark ``extra_info`` (and thus the
 #: shared ``--benchmark-json`` output) when present in a stats dictionary.
 SERVING_INFO_KEYS = (
+    "kernel_backend",
     "n_pages_total",
     "k",
     "queries",

@@ -1,22 +1,32 @@
 """Batched ranking kernels: R independent communities ranked in lockstep.
 
 The batch simulation engine advances ``R`` replicate communities as ``(R, n)``
-arrays.  The kernels here produce, for every row, *exactly* the permutation
-the sequential code path produces — same random draws from the same
-per-replicate generator, same result bit for bit — while doing the heavy
-lifting (sorting, cumulative merge bookkeeping, gathers) across all rows at
-once.
+arrays.  The entry points here produce, for every row, *exactly* the
+permutation the sequential code path produces — same random draws from the
+same per-replicate generator, same result bit for bit — while doing the
+heavy lifting (sorting, cumulative merge bookkeeping, gathers) across all
+rows at once.
 
-Exactness argument for :func:`batched_deterministic_order`: the sequential
-``_deterministic_order`` is ``np.lexsort`` over ``(tie_key, -scores)`` (or the
-age/index variants), i.e. the unique ordering by the composite key
-``(-score, tie, index)``.  Any sorting algorithm that realises that total
-order returns the same permutation, so we are free to use the fastest route:
-an unstable batched quicksort on the primary key alone, followed by an exact
-repair of every run of equal primary keys using the secondary/tertiary keys.
-Ties are rare in fluid mode (only freshly replaced pages share popularity
-zero) but can be large in stochastic mode, where integer awareness counts
-collide; the repair handles both.
+Since the kernel-dispatch refactor the implementations live behind the
+:mod:`repro.core.kernels` backend API: :func:`batched_deterministic_order`
+and :func:`batched_promotion_merge` are thin dispatchers onto the active
+backend's ``rank_day`` / ``promotion_merge`` kernels (the numpy reference
+backend carries the original code verbatim; the optional numba backend
+fuses the same math into JIT loop nests).  The shared helpers that every
+backend builds on — the flat row-wise gather and the clipped-cumsum merge
+algebra — stay here.
+
+Exactness argument for the deterministic order (implemented by the
+backends): the sequential ``_deterministic_order`` is ``np.lexsort`` over
+``(tie_key, -scores)`` (or the age/index variants), i.e. the unique
+ordering by the composite key ``(-score, tie, index)``.  Any sorting
+algorithm that realises that total order returns the same permutation, so
+backends are free to use the fastest route: an unstable batched quicksort
+on the primary key alone, followed by an exact repair of every run of
+equal primary keys using the secondary/tertiary keys.  Ties are rare in
+fluid mode (only freshly replaced pages share popularity zero) but can be
+large in stochastic mode, where integer awareness counts collide; the
+repair handles both.
 
 The merge kernel mirrors ``repro.core.merge.merge_positions`` through a
 closed form: with ``c[j]`` the running count of promotion-list picks after
@@ -35,7 +45,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-TIE_BREAKERS = ("random", "age", "index")
+from repro.core.kernels import TIE_BREAKERS, get_backend
 
 
 #: Single-slot, thread-local scratch for :func:`_flat_take` (row offsets and
@@ -63,41 +73,6 @@ def _flat_take(matrix: np.ndarray, indices: np.ndarray) -> np.ndarray:
     return matrix.ravel().take(flat_indices)
 
 
-def _repair_tie_runs(
-    perm: np.ndarray,
-    sorted_keys: np.ndarray,
-    tie_breaker: str,
-    tie_keys: Optional[np.ndarray],
-    ages: Optional[np.ndarray],
-) -> None:
-    """Reorder every run of equal primary keys by the exact tie-break rule.
-
-    ``perm`` is modified in place.  Within a run the required order is: by
-    tie key ascending (``random``), by age descending (``age``), or by page
-    index ascending (``index``); remaining ties fall back to page index,
-    matching ``np.lexsort`` stability in the sequential path.
-    """
-    equal_next = sorted_keys[:, 1:] == sorted_keys[:, :-1]
-    for row in np.flatnonzero(equal_next.any(axis=1)):
-        pairs = np.flatnonzero(equal_next[row])
-        # Contiguous stretches of `pairs` are single runs of equal keys.
-        breaks = np.flatnonzero(np.diff(pairs) > 1)
-        run_starts = np.concatenate(([0], breaks + 1))
-        run_ends = np.concatenate((breaks, [pairs.size - 1]))
-        for lo, hi in zip(run_starts, run_ends):
-            a, b = pairs[lo], pairs[hi] + 2  # run spans positions a..b-1
-            members = np.sort(perm[row, a:b])
-            if tie_breaker == "random":
-                members = members[
-                    np.argsort(tie_keys[row, members], kind="stable")
-                ]
-            elif tie_breaker == "age":
-                members = members[
-                    np.argsort(-ages[row, members], kind="stable")
-                ]
-            perm[row, a:b] = members
-
-
 def batched_deterministic_order(
     scores: np.ndarray,
     ages: Optional[np.ndarray],
@@ -106,6 +81,8 @@ def batched_deterministic_order(
     out_tie_keys: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Batched equivalent of ``rankers._deterministic_order`` row by row.
+
+    Dispatches to the active kernel backend's ``rank_day``.
 
     Args:
         scores: ``(R, n)`` ranking scores (higher is better).
@@ -123,36 +100,9 @@ def batched_deterministic_order(
         ``_deterministic_order(scores[r], ages[r], tie_breaker, rngs[r])``
         would return.
     """
-    R, n = scores.shape
-    tie_keys = None
-    if tie_breaker == "random":
-        tie_keys = (
-            out_tie_keys
-            if out_tie_keys is not None
-            else np.empty((R, n), dtype=float)
-        )
-        if tie_keys.shape != (R, n):
-            raise ValueError(
-                "out_tie_keys must have shape (%d, %d)" % (R, n)
-            )
-        for row in range(R):
-            rngs[row].random(out=tie_keys[row])
-    elif tie_breaker == "age":
-        # The sequential path substitutes zero ages when none are given;
-        # mirror that so the per-row contract holds for age-less contexts.
-        ages = (
-            np.zeros((R, n)) if ages is None else np.asarray(ages, dtype=float)
-        )
-    elif tie_breaker != "index":
-        raise ValueError(
-            "tie_breaker must be one of %s, got %r" % (TIE_BREAKERS, tie_breaker)
-        )
-
-    negated = -np.asarray(scores, dtype=float)
-    perm = np.argsort(negated, axis=1)  # unstable quicksort: equal runs repaired below
-    sorted_keys = _flat_take(negated, perm)
-    _repair_tie_runs(perm, sorted_keys, tie_breaker, tie_keys, ages)
-    return perm
+    return get_backend().rank_day(
+        scores, ages, tie_breaker, rngs, out_tie_keys=out_tie_keys
+    )
 
 
 def batched_merge_counts(
@@ -223,12 +173,13 @@ def batched_promotion_merge(
 ) -> np.ndarray:
     """Batched equivalent of the sequential randomized merge, row by row.
 
-    For each row this reproduces ``randomized_merge(deterministic, promoted,
-    k, r, rng)`` exactly: the promotion pool is the masked subsequence of the
-    deterministic order, shuffled with the row's generator, and merged via
-    the same coin flips.  Rows with an empty pool return their deterministic
-    order untouched and consult their generator not at all, matching the
-    sequential early return.
+    Dispatches to the active kernel backend's ``promotion_merge``.  For
+    each row this reproduces ``randomized_merge(deterministic, promoted,
+    k, r, rng)`` exactly: the promotion pool is the masked subsequence of
+    the deterministic order, shuffled with the row's generator, and merged
+    via the same coin flips.  Rows with an empty pool return their
+    deterministic order untouched and consult their generator not at all,
+    matching the sequential early return.
 
     Args:
         perms: ``(R, n)`` deterministic orders (modified only by copy).
@@ -237,50 +188,7 @@ def batched_promotion_merge(
         r: merge coin bias.
         rngs: one generator per row.
     """
-    R, n = perms.shape
-    mask_by_rank = _flat_take(promoted_mask, perms)
-    n_promoted = mask_by_rank.sum(axis=1)
-    n_deterministic = n - n_promoted
-
-    # Partition each row into [deterministic..., promoted...], both in rank
-    # order: a stable argsort of the boolean mask is exactly that partition.
-    partition = np.argsort(mask_by_rank, axis=1, kind="stable")
-    values = _flat_take(perms, partition)
-
-    # Per-row generator work (the only non-batched part, by parity): the
-    # promotion-pool shuffle followed by the merge coin flips, in the same
-    # order and with the same sizes as the sequential path.  The uniform
-    # draws land in one (R, n) buffer so the coin comparison and everything
-    # after it runs batched.
-    # Undrawn slots keep coin value 1.0, which never passes `< r` (r <= 1),
-    # so rows or prefixes without sequential draws contribute no flips.
-    draws = np.ones((R, n), dtype=float)
-    for row in range(R):
-        pool_size = int(n_promoted[row])
-        if pool_size == 0:
-            continue
-        generator = rngs[row]
-        pool_view = values[row, n - pool_size:]
-        if pool_size > 1:
-            generator.shuffle(pool_view)
-        taken = min(k - 1, n - pool_size)
-        if taken >= n or n - pool_size - taken == 0:
-            continue  # sequential path draws no coins in these cases
-        generator.random(out=draws[row, taken:])
-
-    flips = draws < r
-    counts = batched_merge_counts(flips, n_deterministic, n_promoted)
-    position = np.arange(n, dtype=np.int32)[None, :]
-    # Slot j takes from the promotion pool iff the clipped count increased.
-    take_promoted = np.empty((R, n), dtype=bool)
-    take_promoted[:, 0] = counts[:, 0] > 0
-    np.greater(counts[:, 1:], counts[:, :-1], out=take_promoted[:, 1:])
-    source = np.where(
-        take_promoted,
-        n_deterministic.astype(np.int32)[:, None] + counts - 1,
-        position - counts,
-    )
-    return _flat_take(values, source)
+    return get_backend().promotion_merge(perms, promoted_mask, k, r, rngs)
 
 
 __all__ = [

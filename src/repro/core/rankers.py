@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.batch_rank import (
+    TIE_BREAKERS,
     batched_deterministic_order,
     batched_promotion_merge,
 )
@@ -68,9 +69,6 @@ class Ranker(abc.ABC):
     def describe(self) -> str:
         """Short description used in experiment reports."""
         return type(self).__name__
-
-
-TIE_BREAKERS = ("random", "age", "index")
 
 
 def _deterministic_order(

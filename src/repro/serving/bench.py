@@ -17,6 +17,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.community.config import CommunityConfig, DEFAULT_COMMUNITY
+from repro.core.kernels import get_backend, use_backend
 from repro.core.policy import RECOMMENDED_POLICY, RankPromotionPolicy
 from repro.core.rankers_context import RankingContext
 from repro.serving.router import ShardedRouter
@@ -88,13 +89,26 @@ def run_serving_benchmark(
     policy: RankPromotionPolicy = RECOMMENDED_POLICY,
     baseline_queries: int = 10,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> Dict[str, float]:
     """One end-to-end serving run plus the full-re-rank baseline.
 
     Returns a flat metrics dictionary: throughput (``queries_per_second``),
     ``cache_hit_rate``, per-query latencies for both paths, and
-    ``speedup_vs_full_rank``.
+    ``speedup_vs_full_rank``; ``kernel_backend`` names the kernel backend
+    that ran (``backend=None`` keeps the process default).
     """
+    if backend is not None:
+        with use_backend(backend):
+            return run_serving_benchmark(
+                n_pages=n_pages, n_queries=n_queries, k=k, n_shards=n_shards,
+                cache_capacity=cache_capacity, staleness_budget=staleness_budget,
+                feedback_rate=feedback_rate, zipf_exponent=zipf_exponent,
+                flush_every=flush_every, policy=policy,
+                baseline_queries=baseline_queries, seed=seed,
+            )
+    kernels = get_backend()
+    kernels.warmup()  # JIT backends compile outside the timed regions
     community = DEFAULT_COMMUNITY.scaled(n_pages)
     router = ShardedRouter.from_community(
         community,
@@ -123,6 +137,7 @@ def run_serving_benchmark(
     report = stats.as_dict()
     report.update(
         {
+            "kernel_backend": kernels.name,
             "n_pages_total": float(router.n_pages),
             "k": float(k),
             "baseline_latency_seconds": baseline_latency,

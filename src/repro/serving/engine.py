@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.community.config import CommunityConfig
 from repro.community.lifecycle import Lifecycle, PoissonLifecycle
+from repro.core.kernels.numpy_backend import merge_repair
 from repro.core.policy import RECOMMENDED_POLICY, RankPromotionPolicy
 from repro.core.rankers import RandomizedPromotionRanker
 from repro.core.rankers_context import RankingContext
@@ -197,25 +198,11 @@ class ServingEngine:
             self._order = np.lexsort((self._tie_key, -pop))
             self.full_sorts += 1
             return
-        if self._dirty_scratch is None or self._dirty_scratch.size != n:
-            self._dirty_scratch = np.zeros(n, dtype=bool)
-        dirty_mask = self._dirty_scratch
-        dirty_mask[dirty] = True
-        keep = self._order[~dirty_mask[self._order]]
-        dirty_mask[dirty] = False  # leave the scratch clean for the next repair
-        moved = dirty[np.argsort(-pop[dirty], kind="stable")]
-        positions = np.searchsorted(-pop[keep], -pop[moved], side="right")
-        # Equivalent to np.insert(keep, positions, moved) — positions are
-        # nondecreasing (moved is sorted), so each inserted element lands at
-        # its original position plus the number of insertions before it —
-        # without np.insert's generic-case overhead on the serving hot path.
-        merged = np.empty(n, dtype=self._order.dtype)
-        slots = positions + np.arange(moved.size)
-        keep_mask = np.ones(n, dtype=bool)
-        keep_mask[slots] = False
-        merged[slots] = moved
-        merged[keep_mask] = keep
-        self._order = merged
+        # The exact O(n + d log d) merge repair is shared with the grouped
+        # lane_repair kernel (one implementation for both paths).
+        self._order, self._dirty_scratch = merge_repair(
+            self._order, pop, dirty, self._dirty_scratch
+        )
         self.repairs += 1
 
     # ------------------------------------------------------ prefix serving

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.community.config import CommunityConfig
 from repro.community.page import PagePool, awareness_gain
+from repro.core.kernels import get_backend
 from repro.simulation.config import VALID_MODES
 from repro.utils.rng import RandomSource, as_rng
 
@@ -90,6 +91,11 @@ class PopularityState:
         same page); visit counts are summed per page before the awareness
         update so the batch is equivalent to one day's worth of those visits
         landing together.
+
+        The fluid-mode arithmetic routes through the active kernel
+        backend's ``feedback_flush`` (the same kernel the lockstep sweep's
+        flush-window advance uses); the stochastic branch keeps the
+        per-call binomial draws from the caller's generator.
         """
         indices = np.asarray(indices, dtype=int)
         visits = np.asarray(visits, dtype=float)
@@ -102,6 +108,18 @@ class PopularityState:
         np.add.at(summed, inverse, visits)
 
         pool = self.pool
+        if self.mode == "fluid":
+            get_backend().feedback_flush(
+                pool.aware_count,
+                self._popularity,
+                pool.quality,
+                self._dirty_mask,
+                touched,
+                summed,
+                pool.monitored_population,
+            )
+            self.version += 1
+            return
         gained = awareness_gain(
             pool.aware_count[touched],
             pool.monitored_population,

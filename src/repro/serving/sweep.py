@@ -59,6 +59,7 @@ from repro.core.batch_rank import (
     batched_deterministic_order,
     batched_prefix_promotion_slots,
 )
+from repro.core.kernels import get_backend
 from repro.core.policy import VALID_RULES, RankPromotionPolicy
 from repro.serving.cache import page_key
 from repro.serving.engine import ServingEngine
@@ -684,17 +685,16 @@ class ServingSweep:
         group: _LaneGroup,
         entries: List[Tuple[int, ServingEngine, List[int], List[float]]],
     ) -> None:
-        """Fluid feedback for a stacked lane group, as one flat array pass.
+        """Fluid feedback for a stacked lane group, as one flat kernel call.
 
         Because the group's awareness/popularity/dirty state lives in
         shared ``(L, n)`` matrices, the per-lane gather/scatter collapses
-        to single flat fancy-indexing operations over composite
-        ``row * n + page`` keys.  The arithmetic is the scalar-``m`` fluid
-        update of ``PopularityState.apply_visits_at``, elementwise
-        identical per entry.
+        to one ``feedback_flush`` kernel call over composite
+        ``row * n + page`` keys — the same kernel the single-lane
+        ``PopularityState.apply_visits_at`` fluid path dispatches to, so
+        the arithmetic is elementwise identical per entry by construction.
         """
         n = group.n
-        m = group.m
         keys = np.concatenate(
             [
                 np.asarray(indices, dtype=np.int64) + row * n
@@ -708,15 +708,15 @@ class ServingSweep:
         summed = np.zeros(touched.size)
         np.add.at(summed, inverse, visits)
 
-        aware_flat = group.aware.ravel()
-        values = aware_flat[touched]
-        gained = (m - values) * (1.0 - (1.0 - 1.0 / m) ** summed)
-        updated = np.minimum(float(m), values + gained)
-        aware_flat[touched] = updated
-        popularity_flat = group.popularity.ravel()
-        quality_flat = group.quality.ravel()
-        popularity_flat[touched] = (updated / m) * quality_flat[touched]
-        group.dirty.ravel()[touched] = True
+        get_backend().feedback_flush(
+            group.aware.ravel(),
+            group.popularity.ravel(),
+            group.quality.ravel(),
+            group.dirty.ravel(),
+            touched,
+            summed,
+            group.m,
+        )
         for _, engine, _, _ in entries:
             engine.state.version += 1
 
@@ -791,8 +791,13 @@ class ServingSweep:
         self._bootstrap(
             [engine for engine in engines if engine._order is None]
         )
-        for engine in engines:
-            engine._refresh_order()  # no-op right after bootstrap
+        self._refresh_stale(
+            [
+                engine
+                for engine in engines
+                if engine._order_version != engine.state.version
+            ]
+        )
 
         randomized: List[Tuple[_VariantReplay, int]] = []
         for (replay, lane_index), engine in zip(stale, engines):
@@ -803,6 +808,69 @@ class ServingSweep:
                 randomized.append((replay, lane_index))
         if randomized:
             self._serve_randomized(randomized)
+
+    def _refresh_stale(self, engines: List[ServingEngine]) -> None:
+        """Grouped equivalent of per-lane ``_refresh_order`` for dirty lanes.
+
+        Each lane's dirty set is consumed and classified exactly as
+        ``ServingEngine._repair_order`` classifies it — selective-pool mask
+        refresh, empty-set no-op, full re-sort when at least half the
+        community moved, merge repair otherwise — but the expensive cases
+        then run **batched**: full re-sorts of equal-size lanes share one
+        :func:`~repro.core.batch_rank.batched_deterministic_order` call
+        (per-lane tie keys drawn from each lane's own generator, exactly
+        the draws the standalone path makes), and the merge repairs of
+        equal-size lanes run as one grouped ``lane_repair`` kernel call
+        instead of lane-by-lane ``_repair_order`` — the ROADMAP's batched
+        lane repair, previously ~20% of remaining sweep time.
+        """
+        resorts: Dict[int, List[ServingEngine]] = {}
+        repairs: Dict[int, List[Tuple[ServingEngine, np.ndarray]]] = {}
+        for engine in engines:
+            state = engine.state
+            dirty = state.consume_dirty()
+            if engine._selective and dirty.size:
+                engine._promoted_mask[dirty] = (
+                    state.pool.aware_count[dirty] < 1.0 - 1e-9
+                )
+            if dirty.size:
+                if dirty.size >= state.n // 2:
+                    resorts.setdefault(state.n, []).append(engine)
+                else:
+                    repairs.setdefault(state.n, []).append((engine, dirty))
+            engine._order_version = state.version
+        for n, group in resorts.items():
+            if len(group) == 1:
+                engine = group[0]
+                engine._tie_key = engine.rng.random(n)
+                engine._order = np.lexsort(
+                    (engine._tie_key, -engine.state.popularity)
+                )
+                engine.full_sorts += 1
+                continue
+            popularity = np.stack([engine.state.popularity for engine in group])
+            tie_keys = np.empty((len(group), n), dtype=float)
+            orders = batched_deterministic_order(
+                popularity,
+                None,
+                "random",
+                [engine.rng for engine in group],
+                out_tie_keys=tie_keys,
+            )
+            for row, engine in enumerate(group):
+                engine._tie_key = tie_keys[row].copy()
+                engine._order = orders[row].copy()
+                engine.full_sorts += 1
+        backend = get_backend()
+        for n, entries in repairs.items():
+            repaired = backend.lane_repair(
+                [engine._order for engine, _ in entries],
+                [engine.state.popularity for engine, _ in entries],
+                [dirty for _, dirty in entries],
+            )
+            for (engine, _), order in zip(entries, repaired):
+                engine._order = order
+                engine.repairs += 1
 
     def _bootstrap(self, engines: List[ServingEngine]) -> None:
         """Batch-build the maintained orders of first-served lanes.
@@ -1057,6 +1125,7 @@ def run_sweep_benchmark(
     warm_awareness: bool = True,
     check_parity: bool = True,
     sweep_repetitions: int = 3,
+    backend: Optional[str] = None,
 ) -> Dict[str, float]:
     """Benchmark the lockstep sweep against R independent standalone replays.
 
@@ -1073,11 +1142,28 @@ def run_sweep_benchmark(
     repeated) with the garbage collector paused inside the timed regions —
     a load spike or GC pause on a shared CI runner then hits both sides of
     the ratio alike instead of flaking it.
+
+    ``backend`` pins a kernel backend for this run (``None`` keeps the
+    process default); the report's ``kernel_backend`` entry names the one
+    that actually ran, tagging the benchmark JSON for the regression gate.
     """
     import gc
 
+    from repro.core.kernels import get_backend, use_backend
     from repro.simulation.replay import replay_trace
 
+    if backend is not None:
+        with use_backend(backend):
+            return run_sweep_benchmark(
+                n_pages=n_pages, n_queries=n_queries, variants=variants,
+                seed=seed, feedback_rate=feedback_rate,
+                flush_every=flush_every, zipf_exponent=zipf_exponent,
+                n_distinct_queries=n_distinct_queries, day_every=day_every,
+                n_workers=n_workers, warm_awareness=warm_awareness,
+                check_parity=check_parity, sweep_repetitions=sweep_repetitions,
+            )
+    kernels = get_backend()
+    kernels.warmup()  # JIT backends compile outside the timed regions
     community = DEFAULT_COMMUNITY.scaled(n_pages)
     variants = list(variants) if variants is not None else variant_grid()
     workload = StreamingWorkload(
@@ -1149,6 +1235,7 @@ def run_sweep_benchmark(
         result.stats.get("cache_hit_rate", 0.0) for result in sweep.results
     ]
     report: Dict[str, float] = {
+        "kernel_backend": kernels.name,
         "n_pages": float(n_pages),
         "queries": float(n_queries),
         "replicates": float(replicates),

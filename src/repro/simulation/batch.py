@@ -33,7 +33,8 @@ import numpy as np
 
 from repro.community.config import CommunityConfig
 from repro.community.lifecycle import Lifecycle, PoissonLifecycle
-from repro.community.page import BatchPagePool, awareness_gain_batch
+from repro.community.page import BatchPagePool
+from repro.core.kernels import get_backend
 from repro.core.rankers import Ranker
 from repro.core.rankers_context import BatchRankingContext
 from repro.metrics.qpc import QPCAccumulator
@@ -42,10 +43,6 @@ from repro.simulation.config import SimulationConfig
 from repro.simulation.result import SimulationResult
 from repro.utils.parallel import default_workers
 from repro.utils.rng import RandomSource, spawn_rngs
-from repro.visits.allocation import (
-    allocate_monitored_visits_batch,
-    rank_visit_shares_batch,
-)
 from repro.visits.attention import AttentionModel, PowerLawAttention
 from repro.visits.surfing import MixedSurfingModel
 
@@ -117,6 +114,12 @@ class BatchSimulator:
     def step(self, compute_all_visits: bool = True) -> Optional[np.ndarray]:
         """Advance every replicate by one day.
 
+        The ranking routes through the active kernel backend (via the
+        ranker's ``rank_batch``), and the whole post-ranking tail —
+        attention-share scatter, optional surfing blend, monitored-visit
+        allocation, awareness update — is one ``day_tail`` kernel call, so
+        a fusing backend runs it as a single loop nest.
+
         Returns the ``(R, n)`` all-user visit matrix, or ``None`` when
         ``compute_all_visits`` is off (warm-up days, where nothing observes
         the visits and the extra elementwise pass would be wasted).
@@ -128,21 +131,23 @@ class BatchSimulator:
         )
         rankings = self.ranker.rank_batch(context, self.rngs)
 
-        shares = rank_visit_shares_batch(
-            rankings, self.attention, self.surfing, context.popularity,
-            out=self._shares,
-        )
-        monitored = allocate_monitored_visits_batch(
-            shares, self.community.monitored_visit_rate, config.mode, self.rngs
-        )
-        gained = awareness_gain_batch(
+        surfing_fraction = 0.0
+        surf_shares = None
+        if self.surfing is not None and not self.surfing.is_pure_search:
+            surfing_fraction = self.surfing.surfing_fraction
+            surf_shares = self.surfing.surfing_shares_batch(context.popularity)
+        shares = get_backend().day_tail(
+            rankings,
+            self.attention.visit_shares(pool.n),
+            self.community.monitored_visit_rate,
+            config.mode,
+            self.rngs,
             pool.aware_count,
             pool.monitored_population,
-            monitored,
-            mode=config.mode,
-            rngs=self.rngs,
+            surfing_fraction=surfing_fraction,
+            surf_shares=surf_shares,
+            out_shares=self._shares,
         )
-        pool.add_awareness_bulk(gained)
         self.lifecycle.step_batch(pool, now=float(self.day), rngs=self.rngs)
         if self.history_length > 0:
             self._history.append(pool.popularity.copy())

@@ -22,6 +22,7 @@ import time
 from typing import Dict, Optional
 
 from repro.community.config import CommunityConfig, DEFAULT_COMMUNITY
+from repro.core.kernels import get_backend, use_backend
 from repro.core.policy import RankPromotionPolicy, RECOMMENDED_POLICY
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import _run_replicates
@@ -38,6 +39,7 @@ def run_simulation_benchmark(
     seed: int = 0,
     n_workers: Optional[int] = None,
     check_parity: bool = True,
+    backend: Optional[str] = None,
 ) -> Dict[str, float]:
     """Time batch vs sequential replicate runs; return a flat metrics dict.
 
@@ -55,7 +57,24 @@ def run_simulation_benchmark(
         n_workers: optional process-pool shards for the batch engine.
         check_parity: verify bit-identical per-replicate QPC between the two
             engines over the baseline replicates (fluid parity contract).
+        backend: kernel backend to pin for this run (``None`` keeps the
+            process default; multi-worker runs propagate through the
+            ``REPRO_KERNEL_BACKEND`` environment variable instead).
+
+    The report's ``kernel_backend`` entry names the backend that actually
+    ran (after any unavailable-backend fallback), so benchmark JSON and the
+    regression-gate floors are backend-tagged.
     """
+    if backend is not None:
+        with use_backend(backend):
+            return run_simulation_benchmark(
+                community=community, policy=policy, replicates=replicates,
+                baseline_replicates=baseline_replicates,
+                warmup_days=warmup_days, measure_days=measure_days, mode=mode,
+                seed=seed, n_workers=n_workers, check_parity=check_parity,
+            )
+    kernels = get_backend()
+    kernels.warmup()  # JIT backends compile outside the timed regions
     community = community or DEFAULT_COMMUNITY
     policy = policy or RECOMMENDED_POLICY
     if baseline_replicates is None:
@@ -97,6 +116,7 @@ def run_simulation_benchmark(
     ) if check_parity else None
 
     report: Dict[str, float] = {
+        "kernel_backend": kernels.name,
         "n_pages": float(community.n_pages),
         "replicates": float(replicates),
         "baseline_replicates": float(baseline_replicates),

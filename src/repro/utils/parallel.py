@@ -5,11 +5,14 @@ split independent units of work across a ``ProcessPoolExecutor``.  The
 resolution rule lives here so every entry point agrees on it:
 
 * an explicit request is honoured (clamped to the task count);
-* ``None`` auto-sizes from :func:`os.cpu_count`, but only engages extra
-  workers when every worker would receive at least
-  ``min_tasks_per_worker`` tasks — process start-up plus result pickling
-  costs real time, and sharding four replicates four ways is slower than
-  not sharding at all;
+* ``None`` auto-sizes from :func:`os.cpu_count` — capped by the
+  ``REPRO_MAX_WORKERS`` environment variable when set, because container
+  CPU quotas make ``os.cpu_count()`` lie (it reports the host's cores, not
+  the cgroup's share, so an unquota-aware pool oversubscribes a throttled
+  container) — but only engages extra workers when every worker would
+  receive at least ``min_tasks_per_worker`` tasks — process start-up plus
+  result pickling costs real time, and sharding four replicates four ways
+  is slower than not sharding at all;
 * the answer is never below one, so callers can compare ``workers <= 1``
   to pick the in-process path.
 
@@ -26,6 +29,21 @@ from typing import Optional
 #: independent tasks (replicates or sweep variants).
 MIN_TASKS_PER_WORKER = 8
 
+#: Environment variable capping the auto-sized worker count (CPU quotas).
+MAX_WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
+
+
+def _max_workers_override() -> Optional[int]:
+    """Parse ``REPRO_MAX_WORKERS``; invalid or non-positive values are ignored."""
+    raw = os.environ.get(MAX_WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
 
 def default_workers(
     tasks: int,
@@ -37,7 +55,9 @@ def default_workers(
     Args:
         tasks: number of independent work units to shard.
         requested: an explicit worker count, or ``None`` to auto-size from
-            ``os.cpu_count()``.
+            ``os.cpu_count()`` (capped by ``REPRO_MAX_WORKERS`` when set —
+            an explicit request is a deliberate caller choice and is *not*
+            capped).
         min_tasks_per_worker: auto-sizing floor — with fewer tasks per
             worker than this, the pool overhead outweighs the parallelism
             and the in-process path wins.
@@ -54,7 +74,10 @@ def default_workers(
     if requested is not None:
         return max(1, min(int(requested), tasks))
     cores = os.cpu_count() or 1
+    override = _max_workers_override()
+    if override is not None:
+        cores = min(cores, override)
     return max(1, min(cores, tasks // min_tasks_per_worker))
 
 
-__all__ = ["default_workers", "MIN_TASKS_PER_WORKER"]
+__all__ = ["default_workers", "MIN_TASKS_PER_WORKER", "MAX_WORKERS_ENV_VAR"]

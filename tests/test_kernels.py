@@ -1,0 +1,434 @@
+"""Tests for the backend-dispatched kernel layer (``repro.core.kernels``).
+
+Three concerns live here:
+
+* **dispatch** — registry resolution (explicit name, environment variable,
+  process default), the hard error on unknown explicit names, and the
+  import-guarded degradation: a requested-but-unavailable backend must fall
+  back to numpy *silently* except for exactly one ``RuntimeWarning``;
+* **numpy reference semantics** — the carved-out kernels must equal the
+  pre-refactor inline passes (the day tail against the hand-chained
+  reference ops, the merge repair against an independent ``lexsort``
+  oracle, the grouped lane repair against the single-lane core), plus a
+  structural guarantee that the sweep's hot path actually routes repairs
+  through one grouped ``lane_repair`` call rather than lane by lane;
+* **cross-backend bit parity** — when numba is installed, a Hypothesis
+  property asserts that the numpy and numba backends produce bit-identical
+  ``(R, n)`` day steps (fluid and stochastic) and bit-identical sweep rows
+  at equal seeds, and per-kernel equality on random inputs.  Without
+  numba these tests skip; CI runs them in the numba matrix leg.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.community import CommunityConfig
+from repro.core import kernels
+from repro.core.kernels import get_backend, set_backend, use_backend
+from repro.core.kernels.numpy_backend import BACKEND as NUMPY_BACKEND
+from repro.core.kernels.numpy_backend import merge_repair
+from repro.core.policy import RankPromotionPolicy
+from repro.serving.state import PopularityState
+from repro.serving.sweep import ServingSweep, SweepVariant
+from repro.simulation import BatchSimulator, SimulationConfig
+from repro.simulation.batch import run_batch
+from repro.utils.rng import spawn_rngs
+from repro.visits.attention import PowerLawAttention
+from repro.visits.surfing import MixedSurfingModel
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+needs_numba = pytest.mark.skipif(
+    not HAVE_NUMBA, reason="numba not installed (optional backend)"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_dispatch(monkeypatch):
+    """Isolate every test from ambient backend selection state."""
+    monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+    kernels._reset_dispatch_state()
+    yield
+    kernels._reset_dispatch_state()
+
+
+def _kernel_community() -> CommunityConfig:
+    # A plain helper (not a fixture): the Hypothesis properties below may
+    # not mix @given with function-scoped fixtures.
+    return CommunityConfig(
+        n_pages=120,
+        n_users=40,
+        monitored_fraction=0.25,
+        visits_per_user_per_day=1.0,
+        expected_lifetime_days=30.0,
+    )
+
+
+@pytest.fixture
+def kernel_community():
+    return _kernel_community()
+
+
+# ---------------------------------------------------------------- dispatch
+
+
+class TestDispatch:
+    def test_default_backend_is_numpy(self):
+        assert get_backend().name == "numpy"
+        assert get_backend("numpy") is NUMPY_BACKEND
+
+    def test_unknown_explicit_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("cupy")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+        assert get_backend().name == "numpy"
+
+    def test_env_var_unknown_name_degrades_with_single_warning(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "banana")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert get_backend().name == "numpy"
+        # Second resolution stays silent: the warning fires once per name.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert get_backend().name == "numpy"
+
+    def test_missing_numba_degrades_silently_with_single_warning(self, monkeypatch):
+        """The satellite contract: no numba => numpy, one warning, no crash."""
+        monkeypatch.setitem(
+            kernels._BACKEND_MODULES, "numba", ".does_not_exist"
+        )
+        monkeypatch.delitem(kernels._instances, "numba", raising=False)
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            backend = get_backend("numba")
+        assert backend.name == "numpy"
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert get_backend("numba").name == "numpy"
+            # set_backend goes through the same fallback and pins numpy.
+            assert set_backend("numba").name == "numpy"
+            assert get_backend().name == "numpy"
+
+    def test_set_and_use_backend_restore(self):
+        assert set_backend("numpy").name == "numpy"
+        with use_backend("numpy") as active:
+            assert active is NUMPY_BACKEND
+        assert get_backend().name == "numpy"
+
+    def test_available_backends_always_lists_numpy(self):
+        names = kernels.available_backends()
+        assert names[0] == "numpy"
+        assert ("numba" in names) == HAVE_NUMBA
+
+
+# ------------------------------------------------- numpy reference parity
+
+
+def _reference_day_tail(rankings, attention, surfing, popularity, rate, mode,
+                        rngs, aware, m):
+    """The pre-refactor inline day tail, kept verbatim as the test oracle."""
+    from repro.community.page import awareness_gain_batch
+    from repro.visits.allocation import (
+        allocate_monitored_visits_batch,
+        rank_visit_shares_batch,
+    )
+
+    shares = rank_visit_shares_batch(rankings, attention, surfing, popularity)
+    monitored = allocate_monitored_visits_batch(shares, rate, mode, rngs)
+    gained = awareness_gain_batch(aware, m, monitored, mode=mode, rngs=rngs)
+    np.minimum(m, aware + np.asarray(gained, dtype=float), out=aware)
+    return shares
+
+
+class TestNumpyKernelSemantics:
+    @pytest.mark.parametrize("mode", ["fluid", "stochastic"])
+    @pytest.mark.parametrize("surf_fraction", [0.0, 0.3])
+    def test_day_tail_matches_inline_reference(self, mode, surf_fraction):
+        rng = np.random.default_rng(5)
+        R, n = 4, 60
+        quality = rng.random((R, n))
+        aware_a = np.floor(rng.random((R, n)) * 10)
+        aware_b = aware_a.copy()
+        m = 12
+        popularity = aware_a / m * quality
+        rankings = np.argsort(-popularity, axis=1)
+        attention = PowerLawAttention()
+        surfing = MixedSurfingModel(surfing_fraction=surf_fraction)
+        rngs_a = spawn_rngs(3, R)
+        rngs_b = spawn_rngs(3, R)
+
+        reference = _reference_day_tail(
+            rankings, attention, surfing, popularity, 7.0, mode,
+            rngs_a, aware_a, m,
+        )
+        surf_shares = (
+            surfing.surfing_shares_batch(popularity)
+            if not surfing.is_pure_search
+            else None
+        )
+        shares = NUMPY_BACKEND.day_tail(
+            rankings,
+            attention.visit_shares(n),
+            7.0,
+            mode,
+            rngs_b,
+            aware_b,
+            m,
+            surfing_fraction=surf_fraction,
+            surf_shares=surf_shares,
+        )
+        np.testing.assert_array_equal(shares, reference)
+        np.testing.assert_array_equal(aware_b, aware_a)
+
+    def test_feedback_flush_matches_sequential_state_update(self):
+        """apply_visits_at's kernel route equals the pre-refactor arithmetic."""
+        from repro.community.page import awareness_gain
+
+        rng = np.random.default_rng(9)
+        n, m = 80, 15
+        quality = rng.random(n)
+        aware0 = np.floor(rng.random(n) * m)
+
+        from repro.community.page import PagePool
+
+        pool = PagePool(quality, m)
+        pool.aware_count[:] = aware0
+        state = PopularityState(pool, mode="fluid")
+        indices = rng.integers(0, n, size=30)
+        visits = rng.random(30) * 3
+        state.apply_visits_at(indices, visits)
+
+        # Pre-refactor reference on copies.
+        aware = aware0.copy()
+        touched, inverse = np.unique(indices, return_inverse=True)
+        summed = np.zeros(touched.size)
+        np.add.at(summed, inverse, visits)
+        gained = awareness_gain(aware[touched], m, summed, mode="fluid")
+        aware[touched] = np.minimum(m, aware[touched] + gained)
+
+        np.testing.assert_array_equal(state.pool.aware_count, aware)
+        np.testing.assert_array_equal(
+            state.popularity, aware / m * quality
+        )
+        assert state.version == 1
+        assert set(np.flatnonzero(state._dirty_mask)) == set(touched)
+
+    @given(seed=st.integers(0, 2**32 - 1), d=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_repair_matches_lexsort_oracle(self, seed, d):
+        """Repaired orders equal an independent composite-key sort.
+
+        The merge repair promises: keeps stay in relative order, moved
+        pages re-enter *after* keeps of equal popularity, moved ties fall
+        back to ascending page index.  That order is exactly a lexsort by
+        ``(-popularity, is_moved, old-position-or-index)`` — an oracle
+        that shares no code with the implementation.
+        """
+        rng = np.random.default_rng(seed)
+        n = 50
+        popularity = np.round(rng.random(n), 1)  # coarse grid forces ties
+        tie = rng.random(n)
+        order = np.lexsort((tie, -popularity))
+        dirty = np.sort(rng.choice(n, size=min(d, n // 2 - 1) or 1, replace=False))
+        popularity[dirty] = np.round(rng.random(dirty.size), 1)
+
+        merged, _ = merge_repair(order, popularity, dirty)
+
+        rank_of = np.empty(n, dtype=int)
+        rank_of[order] = np.arange(n)
+        is_moved = np.zeros(n, dtype=bool)
+        is_moved[dirty] = True
+        tiebreak = np.where(is_moved, np.arange(n), rank_of)
+        oracle = np.lexsort((tiebreak, is_moved, -popularity))
+        np.testing.assert_array_equal(merged, oracle)
+
+    def test_lane_repair_matches_single_lane_core(self):
+        rng = np.random.default_rng(11)
+        n, lanes = 40, 5
+        orders, pops, dirties = [], [], []
+        for _ in range(lanes):
+            pop = np.round(rng.random(n), 1)
+            order = np.lexsort((rng.random(n), -pop))
+            dirty = np.sort(rng.choice(n, size=6, replace=False))
+            pop[dirty] = np.round(rng.random(6), 1)
+            orders.append(order)
+            pops.append(pop)
+            dirties.append(dirty)
+        repaired = get_backend().lane_repair(orders, pops, dirties)
+        for lane in range(lanes):
+            expected, _ = merge_repair(orders[lane], pops[lane], dirties[lane])
+            np.testing.assert_array_equal(repaired[lane], expected)
+
+    def test_sweep_routes_repairs_through_grouped_lane_repair(
+        self, kernel_community, monkeypatch
+    ):
+        """The sweep hot path must issue grouped calls, not per-lane loops."""
+        from test_sweep import make_trace
+
+        calls = []
+        original = type(NUMPY_BACKEND).lane_repair
+
+        def spy(self, orders, popularity, dirty):
+            calls.append(len(orders))
+            return original(self, orders, popularity, dirty)
+
+        monkeypatch.setattr(type(NUMPY_BACKEND), "lane_repair", spy)
+        variants = [
+            SweepVariant(k=8, r=0.1, cache_capacity=16, staleness_budget=0),
+            SweepVariant(k=8, r=0.2, cache_capacity=16, staleness_budget=0),
+            SweepVariant(k=8, r=0.3, cache_capacity=16, staleness_budget=0),
+            SweepVariant(k=8, r=0.0, cache_capacity=16, staleness_budget=0),
+        ]
+        sweep = ServingSweep(kernel_community, variants, seed=3)
+        sweep.run(make_trace(n_queries=200, flush_every=8))
+        repairs = sum(
+            lane.engine.repairs
+            for replay in sweep._replays
+            for lane in replay.lanes
+        )
+        assert repairs > 0, "workload produced no repairs to group"
+        assert calls, "repairs bypassed the grouped lane_repair kernel"
+        assert max(calls) > 1, "lane_repair was never actually grouped"
+        assert sum(calls) == repairs, "some repairs ran outside the kernel"
+
+
+# ------------------------------------------------ numba cross-backend parity
+
+
+@needs_numba
+class TestNumbaBitParity:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        mode=st.sampled_from(["fluid", "stochastic"]),
+        replicates=st.integers(1, 4),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_batch_day_steps_bit_identical(self, seed, mode, replicates):
+        """(R, n) day steps agree bit for bit between numpy and numba."""
+        kernel_community = _kernel_community()
+        policy = RankPromotionPolicy("selective", 1, 0.2)
+        config = SimulationConfig(
+            warmup_days=2, measure_days=4, mode=mode, seed=seed
+        )
+        results = {}
+        for name in ("numpy", "numba"):
+            with use_backend(name):
+                simulator = BatchSimulator(
+                    kernel_community,
+                    policy.build_ranker(),
+                    config,
+                    replicates=replicates,
+                )
+                shares = [simulator.step() for _ in range(4)]
+                results[name] = (
+                    np.asarray(shares),
+                    simulator.pool.aware_count.copy(),
+                    simulator.pool.page_ids.copy(),
+                )
+        for ours, theirs in zip(results["numpy"], results["numba"]):
+            np.testing.assert_array_equal(ours, theirs)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_run_batch_results_bit_identical(self, seed):
+        kernel_community = _kernel_community()
+        config = SimulationConfig(warmup_days=2, measure_days=3, seed=seed)
+        ranker = RankPromotionPolicy("selective", 1, 0.2).build_ranker()
+        qpc = {}
+        for name in ("numpy", "numba"):
+            with use_backend(name):
+                results = run_batch(
+                    kernel_community, ranker, config, replicates=3, n_workers=1
+                )
+                qpc[name] = [r.qpc_absolute for r in results]
+        assert qpc["numpy"] == qpc["numba"]
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        mode=st.sampled_from(["fluid", "stochastic"]),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_sweep_rows_bit_identical(self, seed, mode):
+        """Sweep rows agree bit for bit between backends at equal seeds."""
+        kernel_community = _kernel_community()
+        from test_sweep import make_trace
+
+        variants = [
+            SweepVariant(k=8, r=0.1, cache_capacity=16, staleness_budget=1,
+                         mode=mode),
+            SweepVariant(k=6, r=0.0, cache_capacity=8, staleness_budget=0,
+                         n_shards=2, mode=mode),
+            SweepVariant(k=8, r=0.2, cache_capacity=16, staleness_budget=2,
+                         mode=mode),
+        ]
+        trace = make_trace(n_queries=120, flush_every=8, day_every=40)
+        rows = {}
+        for name in ("numpy", "numba"):
+            with use_backend(name):
+                sweep = ServingSweep(kernel_community, variants, seed=seed % 97)
+                rows[name] = sweep.run(trace)
+        for ours, theirs in zip(rows["numpy"], rows["numba"]):
+            assert ours.matches(theirs)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_kernel_level_equality(self, seed):
+        """rank_day / promotion_merge / lane_repair / feedback_flush agree."""
+        rng = np.random.default_rng(seed)
+        R, n = 3, 40
+        numba_backend = get_backend("numba")
+        scores = np.round(rng.random((R, n)), 1)
+        ages = np.floor(rng.random((R, n)) * 5)
+        for tie_breaker in ("random", "age", "index"):
+            a = NUMPY_BACKEND.rank_day(
+                scores, ages, tie_breaker, spawn_rngs(seed, R)
+            )
+            b = numba_backend.rank_day(
+                scores, ages, tie_breaker, spawn_rngs(seed, R)
+            )
+            np.testing.assert_array_equal(a, b)
+
+        perms = NUMPY_BACKEND.rank_day(scores, None, "index", spawn_rngs(seed, R))
+        mask = rng.random((R, n)) < 0.3
+        a = NUMPY_BACKEND.promotion_merge(perms, mask, 2, 0.4, spawn_rngs(seed, R))
+        b = numba_backend.promotion_merge(perms, mask, 2, 0.4, spawn_rngs(seed, R))
+        np.testing.assert_array_equal(a, b)
+
+        pop = np.round(rng.random((2, n)), 1)
+        orders = [np.lexsort((rng.random(n), -pop[i])) for i in range(2)]
+        dirty = [np.sort(rng.choice(n, size=5, replace=False)) for _ in range(2)]
+        for i, d in enumerate(dirty):
+            pop[i, d] = np.round(rng.random(5), 1)
+        a = NUMPY_BACKEND.lane_repair(orders, list(pop), dirty)
+        b = numba_backend.lane_repair(orders, list(pop), dirty)
+        for ours, theirs in zip(a, b):
+            np.testing.assert_array_equal(ours, theirs)
+
+        aware_a = np.floor(rng.random(n) * 9)
+        aware_b = aware_a.copy()
+        state = {
+            "pop": np.zeros(n), "quality": rng.random(n),
+            "dirty": np.zeros(n, dtype=bool),
+        }
+        touched = np.unique(rng.integers(0, n, size=10))
+        summed = rng.random(touched.size) * 4
+        pop_a, dirty_a = state["pop"].copy(), state["dirty"].copy()
+        pop_b, dirty_b = state["pop"].copy(), state["dirty"].copy()
+        NUMPY_BACKEND.feedback_flush(
+            aware_a, pop_a, state["quality"], dirty_a, touched, summed, 9
+        )
+        numba_backend.feedback_flush(
+            aware_b, pop_b, state["quality"], dirty_b, touched, summed, 9
+        )
+        np.testing.assert_array_equal(aware_a, aware_b)
+        np.testing.assert_array_equal(pop_a, pop_b)
+        np.testing.assert_array_equal(dirty_a, dirty_b)

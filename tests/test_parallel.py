@@ -45,6 +45,32 @@ class TestDefaultWorkers:
             default_workers(10, min_tasks_per_worker=0)
 
 
+class TestMaxWorkersEnvOverride:
+    """REPRO_MAX_WORKERS caps auto-sizing (container CPU quotas lie)."""
+
+    def test_override_caps_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        with mock.patch("repro.utils.parallel.os.cpu_count", return_value=16):
+            assert default_workers(1000) == 2
+
+    def test_override_above_cpu_count_is_not_a_raise(self, monkeypatch):
+        # The override is a cap, not a target: a generous quota never
+        # engages more workers than the host reports.
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "64")
+        with mock.patch("repro.utils.parallel.os.cpu_count", return_value=4):
+            assert default_workers(1000) == 4
+
+    def test_explicit_request_wins_over_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "1")
+        assert default_workers(100, requested=4) == 4
+
+    @pytest.mark.parametrize("raw", ["", "  ", "zero", "-3", "0"])
+    def test_invalid_or_nonpositive_values_ignored(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", raw)
+        with mock.patch("repro.utils.parallel.os.cpu_count", return_value=4):
+            assert default_workers(1000) == 4
+
+
 class TestRunBatchAutoWorkers:
     def test_auto_workers_results_identical(self, tiny_community):
         """run_batch(n_workers=None) auto-shards without changing results.
