@@ -67,12 +67,29 @@ KERNEL_INFO_KEYS = (
     "speedup_lane_repair_vs_perlane",
     "speedup_feedback_flush_vs_perlane",
     "speedup_numba_vs_numpy_day",
+    "adaptive_vs_full_rank_ratio",
+    "blocked_vs_unblocked_tail_ratio",
     "parity_bit_identical",
 )
 
 #: Acceptance bar for the numba backend's whole-day throughput (the
 #: kernel-dispatch PR's criterion, asserted on the numba CI leg).
 MIN_NUMBA_DAY_SPEEDUP = 1.5
+
+#: Acceptance bar for the adaptive rank_day path on near-sorted fluid days
+#: at R=32/n=10k.  Asserted on the numba CI leg, whose fused per-row
+#: detection + re-insertion merge turns the O(n log n) argsort into one
+#: O(n + d log d) pass; the pure-numpy adaptive path runs the same
+#: algorithm as ~a dozen batched array passes, which on the 1-core
+#: container is memory-bound at roughly break-even with the full sort (its
+#: floor below guards that routing through the hint never regresses).
+MIN_ADAPTIVE_RANK_SPEEDUP = 1.5
+
+#: The acceptance shape for the adaptive-rank and blocked-tail benches:
+#: both effects are regime-dependent (the day tail's temporaries only
+#: leave cache at large R*n), so these two benches pin the ISSUE's
+#: R=32/n=10k point instead of scaling with REPRO_BENCH_SCALE.
+ADAPTIVE_BENCH_SHAPE = (32, 10_000)
 
 
 def _shape():
@@ -332,6 +349,109 @@ def bench_feedback_flush():
     }
 
 
+def _near_sorted_fluid_day(rng, R, n):
+    """Yesterday's permutation plus today's drifted scores.
+
+    The drift mirrors what leaves a fluid day near-sorted: surviving pages
+    grow by a monotone map of their popularity (relative order preserved),
+    a small set of pages is promoted/demoted to fresh scores, and a few
+    lifecycle replacements reset to popularity zero.
+    """
+    scores_prev = rng.random((R, n))
+    prev_perm = np.argsort(-scores_prev, axis=1)
+    scores = scores_prev * 1.02
+    moved = max(4, n // 400)
+    for row in range(R):
+        hot = rng.choice(n, size=moved, replace=False)
+        scores[row, hot] = rng.random(moved)
+        scores[row, hot[: max(1, moved // 4)]] = 0.0
+    return scores, prev_perm
+
+
+def bench_adaptive_rank():
+    """Adaptive (prev_perm hint) vs full-argsort rank_day, with bit parity."""
+    backend = get_backend()
+    backend.warmup()
+    R, n = ADAPTIVE_BENCH_SHAPE
+    rng = np.random.default_rng(BENCH_SEED)
+    scores, prev_perm = _near_sorted_fluid_day(rng, R, n)
+
+    full = backend.rank_day(scores, None, "random", spawn_rngs(BENCH_SEED, R))
+    adaptive = backend.rank_day(
+        scores, None, "random", spawn_rngs(BENCH_SEED, R), prev_perm=prev_perm
+    )
+    parity = bool(np.array_equal(full, adaptive))
+
+    full_rngs = spawn_rngs(BENCH_SEED, R)
+    adaptive_rngs = spawn_rngs(BENCH_SEED, R)
+    full_seconds = _best_of(
+        lambda: backend.rank_day(scores, None, "random", full_rngs)
+    )
+    adaptive_seconds = _best_of(
+        lambda: backend.rank_day(
+            scores, None, "random", adaptive_rngs, prev_perm=prev_perm
+        )
+    )
+    return {
+        "kernel_backend": backend.name,
+        "replicates": float(R),
+        "n_pages": float(n),
+        "parity_bit_identical": 1.0 if parity else 0.0,
+        "adaptive_vs_full_rank_ratio": full_seconds / adaptive_seconds,
+    }
+
+
+def bench_blocked_tail():
+    """Row-blocked numpy day tail vs the unblocked chain, with bit parity.
+
+    Pinned to the numpy backend on every CI leg (the blocked tail is a
+    numpy-backend optimization; the numba backend fuses the tail into JIT
+    nests instead), so the gated ratio measures the same two code paths
+    everywhere.
+    """
+    from repro.core.kernels.api import KernelBackend
+    from repro.core.kernels.numpy_backend import BACKEND as numpy_backend
+
+    rng = np.random.default_rng(BENCH_SEED)
+    R, n = ADAPTIVE_BENCH_SHAPE
+    rate, m = 25.0, 100
+    attention = PowerLawAttention()
+    quality = rng.random((R, n))
+    aware0 = np.floor(rng.random((R, n)) * m)
+    rankings = np.argsort(-(aware0 / m * quality), axis=1)
+    shares_by_rank = attention.visit_shares(n)
+    rngs = spawn_rngs(BENCH_SEED, R)
+
+    def unblocked(aware):
+        return KernelBackend.day_tail(
+            numpy_backend, rankings, shares_by_rank, rate, "fluid", rngs,
+            aware, m,
+        )
+
+    def blocked(aware):
+        return numpy_backend.day_tail(
+            rankings, shares_by_rank, rate, "fluid", rngs, aware, m
+        )
+
+    check_a, check_b = aware0.copy(), aware0.copy()
+    shares_a = unblocked(check_a)
+    shares_b = blocked(check_b)
+    parity = bool(
+        np.array_equal(shares_a, shares_b) and np.array_equal(check_a, check_b)
+    )
+
+    aware_a, aware_b = aware0.copy(), aware0.copy()
+    unblocked_seconds = _best_of(lambda: unblocked(aware_a))
+    blocked_seconds = _best_of(lambda: blocked(aware_b))
+    return {
+        "kernel_backend": get_backend().name,
+        "replicates": float(R),
+        "n_pages": float(n),
+        "parity_bit_identical": 1.0 if parity else 0.0,
+        "blocked_vs_unblocked_tail_ratio": unblocked_seconds / blocked_seconds,
+    }
+
+
 def bench_numba_day_throughput():
     """Whole-day throughput, numba backend vs numpy backend, with parity."""
     R, n = _shape()
@@ -389,12 +509,12 @@ def test_bench_kernel_promotion_merge(benchmark):
 def test_bench_kernel_day_tail(benchmark):
     report = run_report_once(benchmark, bench_day_tail, KERNEL_INFO_KEYS)
     assert report["parity_bit_identical"] == 1.0
-    # For the *numpy* backend this ratio sits near (slightly below) 1: the
-    # unfused batched chain streams ~0.5 MB temporaries through L2 while
-    # the per-row reference stays L1-resident — exactly the memory-traffic
-    # problem day-tail fusion solves.  The metric is gated as a regression
-    # canary; the numba leg demonstrates the fused win (and the full-day
-    # acceptance bar below asserts it).
+    # The numpy backend's row-blocked tail lifted this from ~0.8-1x (the
+    # old unfused chain streamed full (R, n) temporaries through L2 while
+    # the per-row reference stayed L1-resident) to ~1.7x on the reference
+    # container; the floor stays conservative because a runner whose
+    # last-level cache holds the whole working set sees both paths
+    # converge.  The numba leg fuses the tail into JIT nests instead.
     assert report["speedup_day_tail_vs_perrow"] > 0.5
 
 
@@ -411,6 +531,35 @@ def test_bench_kernel_feedback_flush(benchmark):
     report = run_report_once(benchmark, bench_feedback_flush, KERNEL_INFO_KEYS)
     assert report["parity_bit_identical"] == 1.0
     assert report["speedup_feedback_flush_vs_perlane"] > 1.0
+
+
+def test_bench_kernel_adaptive_rank(benchmark):
+    """Adaptive rank_day: bit parity everywhere; >=1.5x on the numba leg.
+
+    The ISSUE's acceptance bar (>= 1.5x rank_day throughput on near-sorted
+    fluid days at R=32/n=10k) is met by the fused numba adaptive kernel
+    and asserted on the numba CI leg; the pure-numpy path runs the same
+    merge as batched array passes, which is memory-bound near break-even
+    on the 1-core container — its assert (and the gate floor) guards that
+    the hint never meaningfully regresses the numpy rank.
+    """
+    report = run_report_once(benchmark, bench_adaptive_rank, KERNEL_INFO_KEYS)
+    assert report["parity_bit_identical"] == 1.0
+    if report["kernel_backend"] == "numba":
+        assert report["adaptive_vs_full_rank_ratio"] >= MIN_ADAPTIVE_RANK_SPEEDUP
+    else:
+        assert report["adaptive_vs_full_rank_ratio"] > 0.5
+
+
+def test_bench_kernel_blocked_tail(benchmark):
+    """Row-blocked day tail must beat the unblocked chain, bit-identically."""
+    report = run_report_once(benchmark, bench_blocked_tail, KERNEL_INFO_KEYS)
+    assert report["parity_bit_identical"] == 1.0
+    # ~1.7-1.8x on the 1-core reference container; on a runner whose L3
+    # holds the whole (R, n) working set the two paths converge, so the
+    # hard assert only pins "blocking never loses" and the gate floor
+    # (bench-floor.json) watches the ratio itself.
+    assert report["blocked_vs_unblocked_tail_ratio"] > 0.85
 
 
 @pytest.mark.skipif(

@@ -129,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for replicate/variant sharding; default "
         "auto-sizes from os.cpu_count()",
     )
+    simulation.add_argument(
+        "--adaptive-rank", action="store_true",
+        help="rank each day from the previous day's order via the kernel "
+        "layer's near-sorted run merge (bit-identical to the full sort; "
+        "falls back automatically on days that are not near-sorted)",
+    )
 
     sweep = parser.add_argument_group("sweep-bench options")
     sweep.add_argument(
@@ -244,6 +250,7 @@ def run_sim_bench(args: argparse.Namespace) -> int:
         mode=args.sim_mode,
         seed=args.seed,
         n_workers=args.workers,
+        adaptive_rank=args.adaptive_rank,
     )
     table = Table(
         ["metric", "value"],
@@ -266,10 +273,16 @@ def run_sweep_bench(args: argparse.Namespace) -> int:
     from repro.utils.tables import Table
 
     variants = variant_grid(
-        ks=parse_grid_values(args.grid_k, int),
-        rs=parse_grid_values(args.grid_r, float),
-        staleness_budgets=parse_grid_values(args.grid_stale, int),
-        shard_counts=parse_grid_values(args.grid_shards, int),
+        ks=parse_grid_values(args.grid_k, int, name="--grid-k", minimum=1),
+        rs=parse_grid_values(
+            args.grid_r, float, name="--grid-r", minimum=0.0, maximum=1.0
+        ),
+        staleness_budgets=parse_grid_values(
+            args.grid_stale, int, name="--grid-stale", minimum=0
+        ),
+        shard_counts=parse_grid_values(
+            args.grid_shards, int, name="--grid-shards", minimum=1
+        ),
         cache_capacity=args.sweep_cache_size if args.sweep_cache_size > 0 else None,
     )
     _apply_backend(args)

@@ -107,6 +107,7 @@ class KernelBackend(abc.ABC):
         tie_breaker: str,
         rngs: Sequence[np.random.Generator],
         out_tie_keys: Optional[np.ndarray] = None,
+        prev_perm: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Batched descending order over ``(R, n)`` scores with exact ties.
 
@@ -114,6 +115,18 @@ class KernelBackend(abc.ABC):
         key (see ``repro.core.rankers._deterministic_order``) bit for bit,
         consuming ``rngs[r]`` via :func:`draw_tie_keys` when
         ``tie_breaker == "random"``.
+
+        ``prev_perm`` is an optional ``(R, n)`` permutation hint — row
+        ``r``'s ranking from the *previous* day.  Popularity drifts slowly
+        between days, so yesterday's order viewed under today's scores is
+        often a small number of sorted runs; a backend may then build the
+        new permutation by merging those runs instead of re-sorting from
+        scratch.  The hint never changes the result: the permutation
+        contract above is bit-identical with or without it (any sort order
+        within equal primary keys is normalized by the exact tie repair),
+        and a backend must fall back to the full sort whenever the hint is
+        not actually near-sorted.  Tie-key draws are taken *before* the
+        sort path is chosen, so RNG consumption is hint-independent.
         """
 
     @abc.abstractmethod

@@ -51,6 +51,7 @@ except ImportError as error:  # pragma: no cover - exercised via the registry
         "(pip install -r requirements-numba.txt): %s" % error
     ) from error
 
+from repro.core.kernels.api import KernelBackend
 from repro.core.kernels.numpy_backend import NumpyKernelBackend
 
 
@@ -83,6 +84,90 @@ def _repair_tie_runs_nb(perm, sorted_keys, keys, use_keys):  # pragma: no cover
                 j = b
             else:
                 j += 1
+
+
+@njit(cache=True, parallel=True)
+def _rank_adaptive_nb(negated, prev_perm, max_moved, out, fallback):  # pragma: no cover
+    # The adaptive rank_day as one fused nest per row: detect run
+    # boundaries in yesterday's order under today's keys, extract the
+    # break-adjacent moved set, verify the remaining spine stayed sorted,
+    # and two-pointer-merge the sorted moved pages back in after their
+    # equal keys (the side="right" convention of the numpy reference).
+    # Rows that are not near-sorted (or whose spine the extraction could
+    # not heal) are flagged for the caller's batched argsort fallback.
+    R, n = negated.shape
+    for row in prange(R):
+        moved_mask = np.zeros(n, dtype=np.bool_)
+        break_count = 0
+        prev_key = negated[row, prev_perm[row, 0]]
+        for j in range(1, n):
+            key = negated[row, prev_perm[row, j]]
+            if key < prev_key:
+                break_count += 1
+                if 4 * break_count > max_moved:
+                    break
+                # Two pages on each side of the boundary, like the numpy
+                # reference's moved window.
+                if j >= 2:
+                    moved_mask[j - 2] = True
+                moved_mask[j - 1] = True
+                moved_mask[j] = True
+                if j + 1 < n:
+                    moved_mask[j + 1] = True
+            prev_key = key
+        if break_count == 0:
+            for j in range(n):
+                out[row, j] = prev_perm[row, j]
+            continue
+        if 4 * break_count > max_moved:
+            fallback[row] = True
+            continue
+        d = 0
+        for j in range(n):
+            if moved_mask[j]:
+                d += 1
+        keep_count = n - d
+        keep_keys = np.empty(keep_count, dtype=np.float64)
+        keep_idx = np.empty(keep_count, dtype=np.int64)
+        moved_keys = np.empty(d, dtype=np.float64)
+        moved_idx = np.empty(d, dtype=np.int64)
+        keeps = 0
+        moves = 0
+        healed = True
+        last = -np.inf
+        for j in range(n):
+            page = prev_perm[row, j]
+            key = negated[row, page]
+            if moved_mask[j]:
+                moved_keys[moves] = key
+                moved_idx[moves] = page
+                moves += 1
+            else:
+                if key < last:
+                    healed = False  # a displaced block, not point moves
+                    break
+                last = key
+                keep_keys[keeps] = key
+                keep_idx[keeps] = page
+                keeps += 1
+        if not healed:
+            fallback[row] = True
+            continue
+        order = np.argsort(moved_keys, kind="mergesort")
+        keep_at = 0
+        write = 0
+        for t in range(d):
+            moved_key = moved_keys[order[t]]
+            while keep_at < keep_count and keep_keys[keep_at] <= moved_key:
+                out[row, write] = keep_idx[keep_at]
+                write += 1
+                keep_at += 1
+            out[row, write] = moved_idx[order[t]]
+            write += 1
+        while keep_at < keep_count:
+            out[row, write] = keep_idx[keep_at]
+            write += 1
+            keep_at += 1
 
 
 @njit(cache=True, parallel=True)
@@ -238,6 +323,31 @@ class NumbaKernelBackend(NumpyKernelBackend):
             keys, use_keys = np.zeros((0, 0), dtype=np.float64), False
         _repair_tie_runs_nb(perm, sorted_keys, keys, use_keys)
 
+    # ------------------------------------------------- rank_day (adaptive)
+
+    def _rank_adaptive(self, negated, prev_perm):
+        # One fused nest per row (run detection, moved-set extraction,
+        # spine check, two-pointer re-insertion merge) instead of the
+        # reference's batched passes; rows the kernel flags fall back to
+        # the same batched argsort.  The tie repair normalizes any
+        # within-tie differences, so the result remains bit-identical.
+        from repro.core.kernels.numpy_backend import ADAPTIVE_MAX_MOVED_FRACTION
+
+        R, n = negated.shape
+        out = np.empty((R, n), dtype=np.int64)
+        fallback = np.zeros(R, dtype=np.bool_)
+        _rank_adaptive_nb(
+            np.ascontiguousarray(negated, dtype=np.float64),
+            np.ascontiguousarray(prev_perm, dtype=np.int64),
+            max(4, int(n * ADAPTIVE_MAX_MOVED_FRACTION)),
+            out,
+            fallback,
+        )
+        if fallback.any():
+            rows = np.flatnonzero(fallback)
+            out[rows] = np.argsort(negated[rows], axis=1)
+        return out
+
     # ---------------------------------------------------- promotion_merge
 
     def _partition_by_mask(self, perms, mask_by_rank, n_promoted):
@@ -317,10 +427,31 @@ class NumbaKernelBackend(NumpyKernelBackend):
         _apply_gain_nb(aware_count, float(monitored_population), p_new)
         return aware_count
 
-    # day_tail needs no override: the inherited chain already composes the
-    # JIT visit_allocate and awareness_update above — one fused nest each
-    # around the numpy pow pass, which is exactly the maximum fusion the
-    # parity contract allows (see _apply_gain_nb).
+    def day_tail(
+        self,
+        rankings: np.ndarray,
+        shares_by_rank: np.ndarray,
+        rate: float,
+        mode: str,
+        rngs: Sequence[np.random.Generator],
+        aware_count: np.ndarray,
+        monitored_population: int,
+        surfing_fraction: float = 0.0,
+        surf_shares: Optional[np.ndarray] = None,
+        out_shares: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        # Bypass the numpy backend's row-blocked tail: composing the fused
+        # JIT visit_allocate and awareness_update above — one loop nest
+        # each around the numpy pow pass — is already the maximum fusion
+        # the parity contract allows (see _apply_gain_nb), and the blocked
+        # numpy passes would replace those nests, not feed them.
+        return KernelBackend.day_tail(
+            self, rankings, shares_by_rank, rate, mode, rngs,
+            aware_count, monitored_population,
+            surfing_fraction=surfing_fraction,
+            surf_shares=surf_shares,
+            out_shares=out_shares,
+        )
 
     # -------------------------------------------------------- lane_repair
 
@@ -390,6 +521,12 @@ class NumbaKernelBackend(NumpyKernelBackend):
         ages = np.array([[1.0, 2.0, 2.0], [0.0, 1.0, 1.0]])
         for tie_breaker, age_arg in (("random", None), ("age", ages), ("index", None)):
             self.rank_day(scores, age_arg, tie_breaker, rngs)
+        # prev_perm hint: row 1 has one break with one moved page, which
+        # compiles the adaptive re-insertion kernel.
+        self.rank_day(
+            scores, None, "index", rngs,
+            prev_perm=np.arange(3)[None, :].repeat(2, axis=0),
+        )
         perms = np.argsort(-scores, axis=1)
         mask = np.array([[True, False, True], [False, True, False]])
         self.promotion_merge(perms, mask, 1, 0.5, rngs)

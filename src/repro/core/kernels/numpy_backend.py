@@ -29,7 +29,30 @@ from repro.core.kernels.api import (
     check_tie_breaker,
     draw_tie_keys,
 )
+from repro.utils.validation import check_probability
 from repro.visits.allocation import allocate_monitored_visits_batch
+
+#: Adaptive ``rank_day`` threshold (see :meth:`NumpyKernelBackend.rank_day`).
+#: A row is treated as near-sorted when its break-adjacent moved set — at
+#: most four pages per detected run boundary (two each side) — is no more
+#: than ``n * ADAPTIVE_MAX_MOVED_FRACTION`` pages; beyond that the
+#: O(n + d log d) re-insertion merge stops beating the O(n log n) full
+#: sort and the row falls back to ``argsort``.
+ADAPTIVE_MAX_MOVED_FRACTION = 0.125
+
+#: Row-block size of the adaptive analysis, in elements: the re-insertion
+#: pipeline runs ~12 elementwise passes over (rows, n) temporaries, so the
+#: rows are processed in blocks of ~64k elements (512 KB of float64) to
+#: keep every temporary cache-resident — the same row-blocking argument as
+#: :data:`DAY_TAIL_BLOCK_ROWS`, sized by elements because ``n`` varies.
+ADAPTIVE_BLOCK_ELEMENTS = 65536
+
+#: Row-block height of the fluid day tail.  The unfused ``(R, n)`` tail
+#: streams ~R*n*8-byte temporaries through L2 between every elementwise
+#: pass; processing 8 rows per block keeps each temporary L1/L2-resident
+#: while the passes stay full-width ufunc calls (the ROADMAP's row-blocked
+#: day tail).
+DAY_TAIL_BLOCK_ROWS = 8
 
 
 def merge_repair(
@@ -86,6 +109,7 @@ class NumpyKernelBackend(KernelBackend):
         tie_breaker: str,
         rngs: Sequence[np.random.Generator],
         out_tie_keys: Optional[np.ndarray] = None,
+        prev_perm: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         from repro.core.batch_rank import _flat_take
 
@@ -93,21 +117,193 @@ class NumpyKernelBackend(KernelBackend):
         R, n = scores.shape
         tie_keys = None
         if tie_breaker == "random":
+            # Drawn before the sort path is chosen: RNG consumption must not
+            # depend on whether the adaptive hint is taken (parity contract).
             tie_keys = draw_tie_keys(rngs, (R, n), out=out_tie_keys)
         elif tie_breaker == "age":
-            # The sequential path substitutes zero ages when none are given;
-            # mirror that so the per-row contract holds for age-less contexts.
-            ages = (
-                np.zeros((R, n)) if ages is None else np.asarray(ages, dtype=float)
-            )
+            if ages is None:
+                # The sequential path substitutes zero ages when none are
+                # given; all-equal ages make the age key a no-op, so the
+                # stable fallback to page index decides every tie — exactly
+                # the "index" rule.  Short-circuiting avoids allocating and
+                # sorting a fresh (R, n) zero matrix every day.
+                tie_breaker = "index"
+            else:
+                ages = np.asarray(ages, dtype=float)
         else:
             check_tie_breaker(tie_breaker)
 
         negated = -scores
-        perm = np.argsort(negated, axis=1)  # unstable quicksort: ties repaired below
+        if prev_perm is not None and n > 0:
+            prev_perm = np.asarray(prev_perm)
+            if prev_perm.shape != (R, n):
+                raise ValueError(
+                    "prev_perm must have shape (%d, %d), got %s"
+                    % (R, n, prev_perm.shape)
+                )
+            perm = self._rank_adaptive(negated, prev_perm)
+        else:
+            perm = np.argsort(negated, axis=1)  # unstable quicksort: ties repaired below
         sorted_keys = _flat_take(negated, perm)
         self._repair_tie_runs(perm, sorted_keys, tie_breaker, tie_keys, ages)
         return perm
+
+    # ----------------------------------------------- rank_day (adaptive)
+
+    def _rank_adaptive(
+        self, negated: np.ndarray, prev_perm: np.ndarray
+    ) -> np.ndarray:
+        """Sort each row by merging yesterday's order where it survived.
+
+        Yesterday's permutation viewed under today's keys decomposes into
+        maximal nondecreasing runs (ties never break a run — the exact tie
+        repair afterwards normalizes them anyway).  Rows split three ways,
+        each handled batched across the rows that take it:
+
+        * no run boundary — yesterday's order is already sorted, copy it;
+        * few boundaries — extract the *moved set* (the two pages adjacent
+          to every boundary), verify that the remaining spine is one
+          sorted run, and binary-merge the sorted moved pages back into it
+          (:meth:`_reinsert_moved`, O(n + d log d));
+        * many boundaries, or a spine the extraction could not heal (a
+          whole block of pages displaced together) — the day is not
+          near-sorted: full ``argsort``.
+
+        Every path produces *a* permutation sorted by the primary key,
+        which is all the tie repair needs to make the result bit-identical
+        to the full-sort path.  Rows are processed in cache-sized blocks
+        (:data:`ADAPTIVE_BLOCK_ELEMENTS`): the analysis is a dozen
+        elementwise passes whose temporaries would otherwise stream
+        through DRAM at large ``R * n``.
+        """
+        R, n = negated.shape
+        block = max(1, ADAPTIVE_BLOCK_ELEMENTS // max(1, n))
+        if R <= block:
+            return self._rank_adaptive_block(negated, prev_perm)
+        perm = np.empty((R, n), dtype=prev_perm.dtype)
+        for lo in range(0, R, block):
+            hi = min(lo + block, R)
+            perm[lo:hi] = self._rank_adaptive_block(
+                negated[lo:hi], prev_perm[lo:hi]
+            )
+        return perm
+
+    def _rank_adaptive_block(
+        self, negated: np.ndarray, prev_perm: np.ndarray
+    ) -> np.ndarray:
+        """One row block of :meth:`_rank_adaptive` (see there)."""
+        R, n = negated.shape
+        prev_keys = np.take_along_axis(negated, prev_perm, axis=1)
+        breaks = prev_keys[:, 1:] < prev_keys[:, :-1]
+        break_counts = breaks.sum(axis=1)
+        max_moved = max(4, int(n * ADAPTIVE_MAX_MOVED_FRACTION))
+        sorted_rows = break_counts == 0
+        candidate = ~sorted_rows & (4 * break_counts <= max_moved)
+        # Uniform blocks skip the per-subset gathers: every row sorted
+        # (quiet day), or none near-sorted (churny day — the common
+        # fallback, kept as cheap as the detection passes allow).
+        if sorted_rows.all():
+            return prev_perm.copy()
+        if not sorted_rows.any() and not candidate.any():
+            return np.argsort(negated, axis=1)
+        if candidate.all():
+            merged, healed = self._reinsert_moved(prev_keys, prev_perm, breaks)
+            if healed.all():
+                return merged
+            merged[~healed] = np.argsort(negated[~healed], axis=1)
+            return merged
+        perm = np.empty((R, n), dtype=prev_perm.dtype)
+        fallback = ~sorted_rows & ~candidate
+        if sorted_rows.any():
+            perm[sorted_rows] = prev_perm[sorted_rows]
+        if candidate.any():
+            rows = np.flatnonzero(candidate)
+            merged, healed = self._reinsert_moved(
+                prev_keys[rows], prev_perm[rows], breaks[rows]
+            )
+            perm[rows[healed]] = merged[healed]
+            fallback[rows[~healed]] = True
+        if fallback.any():
+            rows = np.flatnonzero(fallback)
+            perm[rows] = np.argsort(negated[rows], axis=1)
+        return perm
+
+    def _reinsert_moved(
+        self, keys: np.ndarray, prev: np.ndarray, breaks: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Targeted re-insertion of moved pages, batched over ``L`` rows.
+
+        The moved set is the two pages on each side of every run boundary:
+        a page whose score crossed its neighbours produces a boundary on
+        each side, so the window covers it (plus a few innocent
+        neighbours, and re-inserting an innocent page is harmless — it
+        merges straight back to its slot).  The remaining pages are the
+        *spine*; extraction, spine check and merge scatters all run as
+        flat row-major array passes over every row at once, with only the
+        tiny per-row moved sort + binary search in a Python loop.
+
+        Returns ``(merged, healed)``: rows whose spine was *not* left
+        sorted by the extraction (``healed[i] == False`` — e.g. an entire
+        block of pages displaced together) carry garbage in ``merged`` and
+        must be re-sorted by the caller instead.
+        """
+        L, n = keys.shape
+        moved_mask = np.zeros((L, n), dtype=bool)
+        moved_mask[:, :-1] = breaks
+        moved_mask[:, 1:] |= breaks
+        if n > 2:
+            moved_mask[:, :-2] |= breaks[:, 1:]
+            moved_mask[:, 2:] |= breaks[:, :-1]
+        keep_mask = ~moved_mask
+        keep_keys = keys[keep_mask]  # flat, row-major: per-row segments
+        keep_idx = prev[keep_mask]
+        flat_moved = np.flatnonzero(moved_mask.ravel())
+        moved_keys = keys.ravel()[flat_moved]
+        moved_idx = prev.ravel()[flat_moved]
+        row_of = flat_moved // n
+        d_counts = np.bincount(row_of, minlength=L)
+        moved_offsets = np.zeros(L + 1, dtype=np.int64)
+        np.cumsum(d_counts, out=moved_offsets[1:])
+        keep_offsets = np.zeros(L + 1, dtype=np.int64)
+        np.cumsum(n - d_counts, out=keep_offsets[1:])
+        # Spine check: nondecreasing inside every row segment.  Offenders
+        # are rare, so locate the descents and map them to rows.
+        falls = np.flatnonzero(keep_keys[1:] < keep_keys[:-1]) + 1
+        falls = falls[~np.isin(falls, keep_offsets[1:-1])]  # row seams
+        healed = np.ones(L, dtype=bool)
+        if falls.size:
+            healed[np.searchsorted(keep_offsets[1:], falls, side="right")] = False
+        # Sort every row's moved keys in one padded (L, d) argsort: pads
+        # are +inf, so they stay in the trailing columns.
+        d_max = int(d_counts.max())
+        within = np.arange(flat_moved.size, dtype=np.int64) - moved_offsets[row_of]
+        keys_matrix = np.full((L, d_max), np.inf)
+        keys_matrix[row_of, within] = moved_keys
+        idx_matrix = np.zeros((L, d_max), dtype=prev.dtype)
+        idx_matrix[row_of, within] = moved_idx
+        order = np.argsort(keys_matrix, axis=1)
+        keys_matrix = np.take_along_axis(keys_matrix, order, axis=1)
+        idx_matrix = np.take_along_axis(idx_matrix, order, axis=1)
+        positions = np.zeros((L, d_max), dtype=np.int64)
+        for row in range(L):  # np.searchsorted is one-dimensional
+            if healed[row]:
+                positions[row] = np.searchsorted(
+                    keep_keys[keep_offsets[row]:keep_offsets[row + 1]],
+                    keys_matrix[row],
+                    side="right",
+                )
+        # The nondecreasing-positions slot algebra of merge_repair, one
+        # flat scatter per matrix: slot = position + insertions before it.
+        # Pad columns (and unhealed rows, whose positions stay zero) never
+        # collide because only the leading d_counts[row] columns scatter.
+        real = np.arange(d_max, dtype=np.int64)[None, :] < d_counts[:, None]
+        slots = (positions + np.arange(d_max, dtype=np.int64)[None, :])[real]
+        merged = np.empty((L, n), dtype=prev.dtype)
+        spine_mask = np.ones((L, n), dtype=bool)
+        spine_mask[row_of, slots] = False
+        merged[row_of, slots] = idx_matrix[real]
+        merged[spine_mask] = keep_idx
+        return merged, healed
 
     def _repair_tie_runs(
         self,
@@ -158,6 +354,16 @@ class NumpyKernelBackend(KernelBackend):
         from repro.core.batch_rank import _flat_take
 
         R, n = perms.shape
+        if k < 1:
+            raise ValueError("k must be >= 1, got %d" % k)
+        check_probability("r", r)
+        # An empty community merges to the empty permutation without
+        # touching any generator, matching the sequential early return.
+        if n == 0:
+            return perms.copy()
+        # A protected prefix beyond the community is the whole community
+        # (merge_positions clamps identically via min(k - 1, n_det)).
+        k = min(int(k), n)
         mask_by_rank = _flat_take(promoted_mask, perms)
         n_promoted = mask_by_rank.sum(axis=1)
         n_deterministic = n - n_promoted
@@ -278,6 +484,76 @@ class NumpyKernelBackend(KernelBackend):
         )
         np.minimum(monitored_population, aware_count + gained, out=aware_count)
         return aware_count
+
+    def day_tail(
+        self,
+        rankings: np.ndarray,
+        shares_by_rank: np.ndarray,
+        rate: float,
+        mode: str,
+        rngs: Sequence[np.random.Generator],
+        aware_count: np.ndarray,
+        monitored_population: int,
+        surfing_fraction: float = 0.0,
+        surf_shares: Optional[np.ndarray] = None,
+        out_shares: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Row-blocked fluid day tail: the unfused chain, L1/L2-resident.
+
+        The default chain's elementwise passes allocate and stream full
+        ``(R, n)`` temporaries between every step; here the same passes run
+        over :data:`DAY_TAIL_BLOCK_ROWS`-row blocks with two reused block
+        buffers, so each intermediate stays cache-resident.  Every step is
+        the *same ufunc on the same values* as the reference chain
+        (``visit_allocate`` + ``awareness_gain_batch`` + clip), just on row
+        slices, so the result is bit-identical per element.  Stochastic
+        mode and short batches keep the plain chain (per-row generator
+        draws already block naturally, and small ``R`` has nothing to
+        gain).
+        """
+        rankings = np.asarray(rankings)
+        R, n = rankings.shape
+        if mode != "fluid" or R <= DAY_TAIL_BLOCK_ROWS or n == 0:
+            return super().day_tail(
+                rankings, shares_by_rank, rate, mode, rngs,
+                aware_count, monitored_population,
+                surfing_fraction=surfing_fraction,
+                surf_shares=surf_shares,
+                out_shares=out_shares,
+            )
+        if out_shares is None:
+            out_shares = np.empty((R, n), dtype=float)
+        if surfing_fraction and surf_shares is None:
+            raise ValueError("surfing blend requires the surf_shares matrix")
+        m = monitored_population
+        base = 1.0 - 1.0 / m  # hoisted exactly as the pow ufunc hoists it
+        block = DAY_TAIL_BLOCK_ROWS
+        visits_buf = np.empty((block, n), dtype=float)
+        work_buf = np.empty((block, n), dtype=float)
+        for lo in range(0, R, block):
+            hi = min(lo + block, R)
+            shares_block = out_shares[lo:hi]
+            for row in range(lo, hi):
+                out_shares[row][rankings[row]] = shares_by_rank
+            if surfing_fraction:
+                shares_block *= 1.0 - surfing_fraction
+                shares_block += surfing_fraction * surf_shares[lo:hi]
+            rows = hi - lo
+            visits = visits_buf[:rows]
+            work = work_buf[:rows]
+            aware_block = aware_count[lo:hi]
+            # allocate_monitored_visits_batch (fluid): shares * rate.
+            np.multiply(shares_block, rate, out=visits)
+            # awareness_gain_batch (fluid), operation for operation:
+            # unaware = m - aware; p_new = base ** visits; 1 - p_new;
+            # gained = unaware * p_new; then the chain's clip.
+            np.subtract(m, aware_block, out=work)
+            np.power(base, visits, out=visits)
+            np.subtract(1.0, visits, out=visits)
+            np.multiply(work, visits, out=visits)
+            np.add(aware_block, visits, out=visits)
+            np.minimum(m, visits, out=aware_block)
+        return out_shares
 
     # -------------------------------------------------------- lane_repair
 

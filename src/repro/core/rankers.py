@@ -133,9 +133,12 @@ class PopularityRanker(Ranker):
         rngs: Sequence[np.random.Generator],
     ) -> np.ndarray:
         ages = context.ages if self.tie_breaker == "age" else None
-        return batched_deterministic_order(
-            context.popularity, ages, self.tie_breaker, rngs
+        orders = batched_deterministic_order(
+            context.popularity, ages, self.tie_breaker, rngs,
+            prev_perm=context.prev_order,
         )
+        context.deterministic_order = orders
+        return orders
 
     def describe(self) -> str:
         return "No randomization"
@@ -192,8 +195,10 @@ class RandomizedPromotionRanker(Ranker):
             raise ValueError("promotion rule returned a mask of the wrong shape")
         ages = context.ages if self.tie_breaker == "age" else None
         orders = batched_deterministic_order(
-            context.popularity, ages, self.tie_breaker, rngs
+            context.popularity, ages, self.tie_breaker, rngs,
+            prev_perm=context.prev_order,
         )
+        context.deterministic_order = orders
         if self.r == 0.0:
             return orders
         return batched_promotion_merge(orders, promoted_mask, self.k, self.r, rngs)
@@ -236,7 +241,11 @@ class QualityOracleRanker(Ranker):
     ) -> np.ndarray:
         if context.quality is None:
             raise ValueError("QualityOracleRanker requires quality in the context")
-        return batched_deterministic_order(context.quality, None, "index", rngs)
+        orders = batched_deterministic_order(
+            context.quality, None, "index", rngs, prev_perm=context.prev_order
+        )
+        context.deterministic_order = orders
+        return orders
 
     def describe(self) -> str:
         return "Quality oracle"

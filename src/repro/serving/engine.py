@@ -110,6 +110,11 @@ class ServingEngine:
         Cached pages repeat the same randomized promotions until they go
         stale — bounded-staleness exploration is the price of the hit rate.
         """
+        if k < 1:
+            # Same validation as top_k, applied before the cache key is
+            # built: a bad k must never produce a lookup/miss accounting
+            # entry for a page that can never be stored.
+            raise ValueError("k must be >= 1, got %d" % k)
         if self.cache is None:
             return self.top_k(k, rng)
         key = page_key(self.name, min(int(k), self.state.n), self._policy_tag)

@@ -173,11 +173,32 @@ def variant_grid(
     ]
 
 
-def parse_grid_values(spec: str, kind: type = int) -> List:
-    """Parse a comma-separated CLI grid spec (``"10,20"``) into values."""
+def parse_grid_values(
+    spec: str,
+    kind: type = int,
+    name: str = "grid",
+    minimum=None,
+    maximum=None,
+) -> List:
+    """Parse a comma-separated CLI grid spec (``"10,20"``) into values.
+
+    ``minimum``/``maximum`` bound every parsed value with a clear error —
+    the same early validation the kernel layer applies to ``k`` and ``r``,
+    so an out-of-range grid axis fails at parse time instead of deep inside
+    a sweep worker.
+    """
     values = [kind(part.strip()) for part in str(spec).split(",") if part.strip()]
     if not values:
         raise ValueError("empty grid spec %r" % spec)
+    for value in values:
+        if minimum is not None and value < minimum:
+            raise ValueError(
+                "%s values must be >= %s, got %r in %r" % (name, minimum, value, spec)
+            )
+        if maximum is not None and value > maximum:
+            raise ValueError(
+                "%s values must be <= %s, got %r in %r" % (name, maximum, value, spec)
+            )
     return values
 
 
@@ -856,6 +877,13 @@ class ServingSweep:
                 "random",
                 [engine.rng for engine in group],
                 out_tie_keys=tie_keys,
+                # Every resorting lane maintains an order already (fresh
+                # lanes go through _bootstrap); yesterday's orders are the
+                # adaptive hint.  These lanes crossed the half-dirty
+                # threshold, so the kernel usually falls back to the full
+                # sort — the hint costs one run-detection pass and wins
+                # whenever the feedback left the order near-sorted anyway.
+                prev_perm=np.stack([engine._order for engine in group]),
             )
             for row, engine in enumerate(group):
                 engine._tie_key = tie_keys[row].copy()

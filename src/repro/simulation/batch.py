@@ -67,6 +67,12 @@ class BatchSimulator:
             parity; by default the family is spawned from ``config.seed``.
         history_length: recent popularity snapshots kept for history-aware
             rankers (the fallback path slices them per row).
+        adaptive_rank: thread each day's deterministic order into the next
+            day's ranking as a near-sorted hint, letting the kernel layer
+            merge surviving sorted runs instead of re-sorting from scratch
+            (``rank_day``'s ``prev_perm`` argument).  Results are
+            bit-identical either way — the kernel falls back to the full
+            sort whenever the day is not actually near-sorted.
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class BatchSimulator:
         replicates: int = 1,
         rngs: Optional[Sequence[np.random.Generator]] = None,
         history_length: int = 0,
+        adaptive_rank: bool = False,
     ) -> None:
         self.community = community
         self.ranker = ranker
@@ -103,6 +110,8 @@ class BatchSimulator:
         self.day = 0
         self._history: Deque[np.ndarray] = deque(maxlen=self.history_length or None)
         self._shares = np.empty((self.replicates, self.pool.n), dtype=float)
+        self.adaptive_rank = bool(adaptive_rank)
+        self._prev_order: Optional[np.ndarray] = None
 
     @property
     def replicates(self) -> int:
@@ -127,9 +136,17 @@ class BatchSimulator:
         pool = self.pool
         config = self.config
         context = BatchRankingContext.from_batch_pool(
-            pool, now=float(self.day), popularity_history=self._history_array()
+            pool,
+            now=float(self.day),
+            popularity_history=self._history_array(),
+            prev_order=self._prev_order if self.adaptive_rank else None,
         )
         rankings = self.ranker.rank_batch(context, self.rngs)
+        if self.adaptive_rank:
+            # Built-in rankers record the deterministic order they computed;
+            # it becomes tomorrow's near-sorted hint.  Custom rankers that
+            # never set it simply keep the full-sort path.
+            self._prev_order = context.deterministic_order
 
         surfing_fraction = 0.0
         surf_shares = None
@@ -268,6 +285,7 @@ def _run_batch_block(
     lifecycle: Optional[Lifecycle],
     rngs: Sequence[np.random.Generator],
     history_length: int,
+    adaptive_rank: bool = False,
 ) -> List[SimulationResult]:
     """Worker entry point: advance one replicate block to completion."""
     simulator = BatchSimulator(
@@ -279,6 +297,7 @@ def _run_batch_block(
         lifecycle=lifecycle,
         rngs=rngs,
         history_length=history_length,
+        adaptive_rank=adaptive_rank,
     )
     return simulator.run()
 
@@ -295,6 +314,7 @@ def run_batch(
     seed: RandomSource = None,
     history_length: int = 0,
     n_workers: Optional[int] = None,
+    adaptive_rank: bool = False,
 ) -> List[SimulationResult]:
     """Run ``R`` replicates through the batch engine, optionally sharded.
 
@@ -321,7 +341,7 @@ def run_batch(
     if n_workers <= 1:
         return _run_batch_block(
             community, ranker, config, attention, surfing, lifecycle,
-            rngs, history_length,
+            rngs, history_length, adaptive_rank,
         )
 
     blocks = np.array_split(np.arange(len(rngs)), n_workers)
@@ -338,6 +358,7 @@ def run_batch(
                 lifecycle,
                 [rngs[i] for i in block],
                 history_length,
+                adaptive_rank,
             )
             for block in blocks
         ]

@@ -40,6 +40,7 @@ def run_simulation_benchmark(
     n_workers: Optional[int] = None,
     check_parity: bool = True,
     backend: Optional[str] = None,
+    adaptive_rank: bool = False,
 ) -> Dict[str, float]:
     """Time batch vs sequential replicate runs; return a flat metrics dict.
 
@@ -60,6 +61,10 @@ def run_simulation_benchmark(
         backend: kernel backend to pin for this run (``None`` keeps the
             process default; multi-worker runs propagate through the
             ``REPRO_KERNEL_BACKEND`` environment variable instead).
+        adaptive_rank: rank each batch day from the previous day's order
+            via the kernel layer's near-sorted merge path (the CLI's
+            ``--adaptive-rank`` toggle); bit-identical to the full sort,
+            echoed in the report so benchmark JSON is tagged with it.
 
     The report's ``kernel_backend`` entry names the backend that actually
     ran (after any unavailable-backend fallback), so benchmark JSON and the
@@ -72,6 +77,7 @@ def run_simulation_benchmark(
                 baseline_replicates=baseline_replicates,
                 warmup_days=warmup_days, measure_days=measure_days, mode=mode,
                 seed=seed, n_workers=n_workers, check_parity=check_parity,
+                adaptive_rank=adaptive_rank,
             )
     kernels = get_backend()
     kernels.warmup()  # JIT backends compile outside the timed regions
@@ -99,6 +105,7 @@ def run_simulation_benchmark(
     batch = _run_replicates(
         community, policy, config,
         repetitions=replicates, seed=seed, engine="batch", n_workers=n_workers,
+        adaptive_rank=adaptive_rank,
     )
     batch_seconds = time.perf_counter() - started
 
@@ -117,6 +124,7 @@ def run_simulation_benchmark(
 
     report: Dict[str, float] = {
         "kernel_backend": kernels.name,
+        "adaptive_rank": 1.0 if adaptive_rank else 0.0,
         "n_pages": float(community.n_pages),
         "replicates": float(replicates),
         "baseline_replicates": float(baseline_replicates),

@@ -119,7 +119,9 @@ def allocate_monitored_visits_batch(
         return shares_by_page * rate
     count = int(round(rate))
     R, n = shares_by_page.shape
-    if count <= 0:
+    # n == 0: nothing to visit and no generator draws (normalizing the
+    # empty share vector would divide by zero); count <= 0 likewise.
+    if count <= 0 or n == 0:
         return np.zeros_like(shares_by_page)
     visits = np.empty((R, n), dtype=float)
     for row in range(R):
@@ -143,7 +145,7 @@ def allocate_monitored_visits(
     if mode == "fluid":
         return shares_by_page * rate
     count = int(round(rate))
-    if count <= 0:
+    if count <= 0 or np.asarray(shares_by_page).size == 0:
         return np.zeros_like(shares_by_page)
     normalized = shares_by_page / shares_by_page.sum()
     return as_rng(rng).multinomial(count, normalized).astype(float)

@@ -228,6 +228,48 @@ def test_cache_lru_eviction_order():
     assert cache.stats.capacity_evictions == 1
 
 
+def test_cache_staleness_boundary_exact():
+    """Lag == budget is served; lag == budget + 1 evicts, precisely."""
+    cache = ResultPageCache(capacity=4, staleness_budget=3)
+    cache.store("key", np.array([7]), version=5)
+    assert cache.lookup("key", current_version=8) is not None  # lag == budget
+    assert cache.stats.stale_evictions == 0
+    assert cache.lookup("key", current_version=9) is None  # budget + 1
+    assert cache.stats.stale_evictions == 1
+    assert len(cache) == 0
+
+
+def test_cache_stats_survive_invalidate():
+    """invalidate() drops entries but keeps the accumulated counters."""
+    cache = ResultPageCache(capacity=4, staleness_budget=0)
+    cache.store("key", np.array([1, 2]), version=0)
+    assert cache.lookup("key", 0) is not None
+    assert cache.lookup("missing", 0) is None
+    hits, misses = cache.stats.hits, cache.stats.misses
+    cache.invalidate()
+    assert len(cache) == 0
+    assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+    assert cache.lookup("key", 0) is None  # entries gone, stats keep counting
+    assert cache.stats.misses == misses + 1
+    assert cache.stats.hit_rate == pytest.approx(
+        cache.stats.hits / cache.stats.lookups
+    )
+
+
+def test_engine_serve_rejects_bad_k(serving_community):
+    """serve() validates k before touching the cache (mirrors top_k)."""
+    from repro.serving.engine import ServingEngine
+
+    engine = ServingEngine(
+        serving_community, cache=ResultPageCache(capacity=4), seed=0
+    )
+    with pytest.raises(ValueError, match="k must be >= 1"):
+        engine.serve(0)
+    with pytest.raises(ValueError, match="k must be >= 1"):
+        engine.top_k(-3)
+    assert engine.cache.stats.lookups == 0  # no phantom miss was recorded
+
+
 def test_cached_pages_are_isolated_from_caller_mutation():
     cache = ResultPageCache(capacity=2, staleness_budget=0)
     original = np.array([5, 6, 7])
