@@ -43,6 +43,11 @@ SERVING_INFO_KEYS = (
     "flushes",
 )
 
+#: Dynamic ``extra_info`` key prefixes: per-shard throughput and the
+#: telemetry end-of-run snapshot (shard count and span names vary per run,
+#: so these are matched by prefix instead of being enumerated).
+SERVING_INFO_PREFIXES = ("qps_shard_", "queries_shard_", "telemetry_")
+
 
 @pytest.fixture(scope="session")
 def bench_scale():
@@ -76,13 +81,14 @@ def run_report_once(benchmark, driver, info_keys, **kwargs):
     ``pytest -s`` runs.
     """
     report = benchmark.pedantic(lambda: driver(**kwargs), iterations=1, rounds=1)
-    benchmark.extra_info.update(
-        {key: report[key] for key in info_keys if key in report}
-    )
+    selected = {key: report[key] for key in info_keys if key in report}
+    for key in sorted(report):
+        if key.startswith(SERVING_INFO_PREFIXES):
+            selected[key] = report[key]
+    benchmark.extra_info.update(selected)
     print()
-    for key in info_keys:
-        if key in report:
-            print("%s: %s" % (key, report[key]))
+    for key in selected:
+        print("%s: %s" % (key, selected[key]))
     return report
 
 

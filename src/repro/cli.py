@@ -8,6 +8,7 @@ Examples::
     python -m repro serve-bench --pages 200000 --queries 5000 --shards 8
     python -m repro sim-bench --replicates 32 --sim-mode fluid
     python -m repro sweep-bench --grid-k 10,20 --grid-r 0.0,0.1 --grid-shards 1,2
+    python -m repro sweep-fig --grid-r 0.0,0.1,0.2,0.3 --telemetry-window 256
     repro figure1
 
 Each experiment prints the same rows/series the corresponding paper figure
@@ -21,7 +22,11 @@ sequential simulator, including the bit-parity check between the two.
 serving configurations (page length, randomization, cache staleness
 budget, shard count) through the lockstep sweep engine and reports its
 replayed-query throughput against running the variants one at a time,
-including the per-variant bit-parity check.
+including the per-variant bit-parity check.  ``sweep-fig`` runs one such
+sweep and renders the QPC / cache-hit-rate / staleness trade-off curves
+(plus, with ``--telemetry-window``, the windowed metric series) as ASCII
+figures.  All three benchmarks accept ``--telemetry-window`` /
+``--telemetry-out`` to stream windowed telemetry rows as JSON lines.
 """
 
 from __future__ import annotations
@@ -47,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment to run (one of: list, serve-bench, sim-bench, "
-        "sweep-bench, %s)" % ", ".join(list_experiments()),
+        "sweep-bench, sweep-fig, %s)" % ", ".join(list_experiments()),
     )
     parser.add_argument(
         "--scale",
@@ -177,6 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep-day-every", type=int, default=None,
         help="queries between lifecycle days in the trace (default: none)",
     )
+
+    telemetry = parser.add_argument_group("telemetry options")
+    telemetry.add_argument(
+        "--telemetry-window", type=int, default=None,
+        help="enable streaming telemetry with this sliding-window size "
+        "(events for serve-bench/sweep-bench/sweep-fig, days for "
+        "sim-bench); default off",
+    )
+    telemetry.add_argument(
+        "--telemetry-out", default=None,
+        help="write windowed telemetry rows to this JSON-lines file "
+        "(implies telemetry on, with the default window if "
+        "--telemetry-window is not given)",
+    )
     return parser
 
 
@@ -212,6 +231,8 @@ def run_serve_bench(args: argparse.Namespace) -> int:
         staleness_budget=args.staleness_budget,
         feedback_rate=args.feedback_rate,
         seed=args.seed,
+        telemetry_window=args.telemetry_window,
+        telemetry_out=args.telemetry_out,
     )
     table = Table(
         ["metric", "value"],
@@ -251,6 +272,8 @@ def run_sim_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_workers=args.workers,
         adaptive_rank=args.adaptive_rank,
+        telemetry_window=args.telemetry_window,
+        telemetry_out=args.telemetry_out,
     )
     table = Table(
         ["metric", "value"],
@@ -295,6 +318,8 @@ def run_sweep_bench(args: argparse.Namespace) -> int:
         flush_every=args.sweep_flush,
         day_every=args.sweep_day_every,
         n_workers=args.workers,
+        telemetry_window=args.telemetry_window,
+        telemetry_out=args.telemetry_out,
     )
     table = Table(
         ["metric", "value"],
@@ -305,6 +330,86 @@ def run_sweep_bench(args: argparse.Namespace) -> int:
     for key in sorted(report):
         table.add_row(key, report[key])
     print(table.render())
+    return 0
+
+
+def run_sweep_fig(args: argparse.Namespace) -> int:
+    """Render the serving trade-off figures from one lockstep sweep run."""
+    from repro.community.config import DEFAULT_COMMUNITY
+    from repro.serving.figures import (
+        sweep_tradeoff_figures,
+        telemetry_series_figure,
+    )
+    from repro.serving.sweep import parse_grid_values, run_sweep, variant_grid
+    from repro.serving.workload import (
+        StreamingWorkload,
+        WorkloadConfig,
+        record_trace,
+    )
+    from repro.utils.rng import derive_seed
+
+    variants = variant_grid(
+        ks=parse_grid_values(args.grid_k, int, name="--grid-k", minimum=1),
+        rs=parse_grid_values(
+            args.grid_r, float, name="--grid-r", minimum=0.0, maximum=1.0
+        ),
+        staleness_budgets=parse_grid_values(
+            args.grid_stale, int, name="--grid-stale", minimum=0
+        ),
+        shard_counts=parse_grid_values(
+            args.grid_shards, int, name="--grid-shards", minimum=1
+        ),
+        cache_capacity=args.sweep_cache_size if args.sweep_cache_size > 0 else None,
+    )
+    _apply_backend(args)
+    community = DEFAULT_COMMUNITY.scaled(args.sweep_pages)
+    workload = StreamingWorkload(
+        WorkloadConfig(
+            n_distinct_queries=256,
+            k=max(variant.k for variant in variants),
+            feedback_rate=args.sweep_feedback_rate,
+            flush_every=args.sweep_flush,
+        ),
+        seed=derive_seed(args.seed, "sweep-stream"),
+    )
+    trace = record_trace(workload, args.sweep_queries, day_every=args.sweep_day_every)
+
+    recorder = None
+    if args.telemetry_window is not None or args.telemetry_out is not None:
+        from repro.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder(
+            window=args.telemetry_window or trace.flush_every,
+            out=args.telemetry_out,
+            label="sweep-fig",
+        )
+        recorder.install_kernel_spans()
+    try:
+        result = run_sweep(
+            community,
+            variants,
+            trace,
+            seed=args.seed,
+            n_workers=args.workers,
+            warm_awareness=True,
+            telemetry=recorder,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
+
+    figures = sweep_tradeoff_figures(result)
+    if recorder is not None:
+        series = telemetry_series_figure(recorder.rows, kind="sweep")
+        if series is not None:
+            figures.append(series)
+    for figure in figures:
+        print(figure.render())
+        print()
+    print(
+        "swept %d variants over %d recorded queries (%.2fs)"
+        % (len(variants), args.sweep_queries, result.elapsed_seconds)
+    )
     return 0
 
 
@@ -337,6 +442,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = run_sweep_bench(args)
         print()
         print("completed sweep-bench in %.1fs" % (time.time() - started))
+        return code
+
+    if args.experiment == "sweep-fig":
+        started = time.time()
+        code = run_sweep_fig(args)
+        print()
+        print("completed sweep-fig in %.1fs" % (time.time() - started))
         return code
 
     try:

@@ -61,7 +61,29 @@ _BACKEND_MODULES: Dict[str, str] = {
 _instances: Dict[str, KernelBackend] = {}
 _default_name: Optional[str] = None
 _fallback_warned: set = set()
+_instrumentation = None
 _lock = threading.Lock()
+
+
+def set_kernel_instrumentation(wrap) -> None:
+    """Install (or clear, with ``None``) a backend instrumentation hook.
+
+    ``wrap`` is a callable mapping a resolved :class:`KernelBackend` to
+    the instance :func:`get_backend` should hand out — typically a
+    :class:`repro.telemetry.spans.TimedKernelBackend` proxy, installed
+    for the duration of one telemetry-enabled run via
+    :meth:`repro.telemetry.TelemetryRecorder.install_kernel_spans`.  The
+    registry cache always holds the raw backends; the hook applies at
+    dispatch time, so clearing it instantly restores the uninstrumented
+    path (a single ``is None`` check per dispatch).
+    """
+    global _instrumentation
+    _instrumentation = wrap
+
+
+def get_kernel_instrumentation():
+    """The currently installed instrumentation hook, or ``None``."""
+    return _instrumentation
 
 
 def available_backends() -> List[str]:
@@ -126,10 +148,15 @@ def get_backend(name: Optional[str] = None) -> KernelBackend:
             # evicts the module from sys.modules, so without this every
             # dispatch in a degraded process (REPRO_KERNEL_BACKEND=numba,
             # numba absent — e.g. pool workers) would re-pay the import
-            # attempt.
+            # attempt.  The cache must hold the raw backend, never an
+            # instrumentation proxy (whose recorder may since have closed),
+            # so unwrap what the recursive numpy resolution handed back.
             instance = _fallback(name, error)
+            instance = getattr(instance, "_inner", instance)
         with _lock:
             _instances[name] = instance
+    if _instrumentation is not None:
+        return _instrumentation(instance)
     return instance
 
 
@@ -163,11 +190,12 @@ def use_backend(name: Optional[str]):
 
 
 def _reset_dispatch_state() -> None:
-    """Forget the default override, warning memory and cached fallback
-    aliases (entries resolving to a different backend than their key) —
-    test isolation."""
-    global _default_name
+    """Forget the default override, warning memory, instrumentation hook
+    and cached fallback aliases (entries resolving to a different backend
+    than their key) — test isolation."""
+    global _default_name, _instrumentation
     _default_name = None
+    _instrumentation = None
     with _lock:
         _fallback_warned.clear()
         for key in [k for k, v in _instances.items() if v.name != k]:
@@ -181,7 +209,9 @@ __all__ = [
     "ENV_VAR",
     "available_backends",
     "get_backend",
+    "get_kernel_instrumentation",
     "set_backend",
+    "set_kernel_instrumentation",
     "use_backend",
     "check_tie_breaker",
     "draw_tie_keys",

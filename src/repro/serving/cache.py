@@ -23,15 +23,25 @@ from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry.recorder import NULL_RECORDER
+
 
 @dataclass
 class CacheStats:
-    """Counters describing cache effectiveness."""
+    """Counters describing cache effectiveness.
+
+    ``stale_evictions`` counts validate-on-read failures — the OCC
+    conflict signal — and :meth:`snapshot` reports it under the explicit
+    ``staleness_rejections`` name; ``invalidations`` counts wholesale
+    :meth:`ResultPageCache.invalidate` calls (lifecycle days and other
+    events that replace the underlying pages).
+    """
 
     hits: int = 0
     misses: int = 0
     stale_evictions: int = 0
     capacity_evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -43,14 +53,33 @@ class CacheStats:
         """Fraction of lookups answered from cache (0 when never used)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
-        """Flat dictionary for benchmark/JSON reporting."""
+    def snapshot(self) -> Dict[str, float]:
+        """Explicit stats snapshot (unprefixed canonical names).
+
+        The single source of truth for cache effectiveness counters:
+        telemetry, benchmark reports and ad-hoc inspection all read this
+        rather than picking dataclass fields by hand.
+        """
         return {
-            "cache_hits": float(self.hits),
-            "cache_misses": float(self.misses),
-            "cache_stale_evictions": float(self.stale_evictions),
-            "cache_capacity_evictions": float(self.capacity_evictions),
-            "cache_hit_rate": self.hit_rate,
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "staleness_rejections": float(self.stale_evictions),
+            "capacity_evictions": float(self.capacity_evictions),
+            "invalidations": float(self.invalidations),
+            "lookups": float(self.lookups),
+            "hit_rate": self.hit_rate,
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        """:meth:`snapshot` under legacy ``cache_``-prefixed report keys."""
+        snap = self.snapshot()
+        return {
+            "cache_hits": snap["hits"],
+            "cache_misses": snap["misses"],
+            "cache_stale_evictions": snap["staleness_rejections"],
+            "cache_capacity_evictions": snap["capacity_evictions"],
+            "cache_invalidations": snap["invalidations"],
+            "cache_hit_rate": snap["hit_rate"],
         }
 
 
@@ -73,6 +102,7 @@ class ResultPageCache:
     capacity: int = 128
     staleness_budget: int = 0
     stats: CacheStats = field(default_factory=CacheStats)
+    telemetry: object = field(default=NULL_RECORDER, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -94,14 +124,21 @@ class ResultPageCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            if self.telemetry.enabled:
+                self.telemetry.record_miss()
             return None
-        if current_version - entry.version > self.staleness_budget:
+        staleness = current_version - entry.version
+        if staleness > self.staleness_budget:
             del self._entries[key]
             self.stats.stale_evictions += 1
             self.stats.misses += 1
+            if self.telemetry.enabled:
+                self.telemetry.record_occ_rejection(staleness)
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self.telemetry.enabled:
+            self.telemetry.record_hit(staleness)
         return entry.page
 
     def store(self, key: Hashable, page: np.ndarray, version: int) -> None:
@@ -123,6 +160,7 @@ class ResultPageCache:
     def invalidate(self) -> None:
         """Drop every entry (e.g. after a lifecycle day replaces pages)."""
         self._entries.clear()
+        self.stats.invalidations += 1
 
 
 def page_key(community_tag: Hashable, k: int, policy_tag: Hashable) -> Tuple:

@@ -36,6 +36,7 @@ from repro.core.rankers import RandomizedPromotionRanker
 from repro.core.rankers_context import RankingContext
 from repro.serving.cache import ResultPageCache, page_key
 from repro.serving.state import PopularityState
+from repro.telemetry.recorder import NULL_RECORDER
 from repro.utils.rng import RandomSource, as_rng
 from repro.visits.attention import AttentionModel, PowerLawAttention
 from repro.visits.surfing import MixedSurfingModel
@@ -83,6 +84,7 @@ class ServingEngine:
         self.day = 0
         self.full_sorts = 0
         self.repairs = 0
+        self.telemetry = NULL_RECORDER
         self._policy_tag = policy.describe()
         # Maintained descending-popularity order.  Ties are broken by a
         # random per-page key drawn once per engine (refreshed on full
@@ -180,6 +182,8 @@ class ServingEngine:
             state.consume_dirty()
             self._order_version = state.version
             self.full_sorts += 1
+            if self.telemetry.enabled:
+                self.telemetry.record_full_sort()
             return
         if self._order_version == state.version:
             return
@@ -202,6 +206,8 @@ class ServingEngine:
             self._tie_key = self.rng.random(n)
             self._order = np.lexsort((self._tie_key, -pop))
             self.full_sorts += 1
+            if self.telemetry.enabled:
+                self.telemetry.record_full_sort()
             return
         # The exact O(n + d log d) merge repair is shared with the grouped
         # lane_repair kernel (one implementation for both paths).
@@ -209,6 +215,8 @@ class ServingEngine:
             self._order, pop, dirty, self._dirty_scratch
         )
         self.repairs += 1
+        if self.telemetry.enabled:
+            self.telemetry.record_repair()
 
     # ------------------------------------------------------ prefix serving
 

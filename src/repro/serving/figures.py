@@ -1,0 +1,131 @@
+"""Sweep figure drivers: QPC / hit-rate / staleness trade-off curves.
+
+The lockstep sweep (:mod:`repro.serving.sweep`) produces one flat metrics
+row per variant; the telemetry recorder adds windowed rows over the query
+stream.  The drivers here fold both into
+:class:`~repro.experiments.results.ExperimentResult` figures — the same
+ASCII-rendered containers the paper-figure experiments use, so the output
+needs no plotting dependency:
+
+* :func:`sweep_tradeoff_figures` — the serving trade-off the randomized
+  promotion paper implies but never plots: how the promotion rate ``r``
+  and the cache staleness budget move QPC (quality per click), cache hit
+  rate and OCC staleness rejections against each other.
+* :func:`telemetry_series_figure` — metric evolution over the stream from
+  the recorder's windowed JSONL rows (event-indexed x axis).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.results import ExperimentResult
+from repro.serving.sweep import SweepResult
+
+#: Windowed-row metrics plotted by :func:`telemetry_series_figure` when no
+#: explicit metric list is given (skipped silently when absent from rows).
+DEFAULT_SERIES_METRICS = ("cache_hit_rate", "qps", "staleness_mean", "qpc")
+
+
+def _budget_label(row: Dict[str, float]) -> str:
+    return "budget=%g" % row.get("staleness_budget", 0.0)
+
+
+def sweep_tradeoff_figures(result: SweepResult) -> List[ExperimentResult]:
+    """Trade-off curves over a sweep grid, one figure per metric.
+
+    Expects the grid to vary the promotion rate ``r`` (x axis) and,
+    optionally, the cache ``staleness_budget`` (one series per budget).
+    Returns three figures: QPC vs r, cache hit rate vs r, and OCC
+    staleness-rejection rate vs r.  Variants missing a metric (e.g. QPC
+    without feedback events) are skipped point-wise.
+    """
+    rows = result.rows()
+    figures: List[ExperimentResult] = []
+    metrics = (
+        ("qpc", "quality per click (QPC)", "sweep-qpc"),
+        ("cache_hit_rate", "cache hit rate", "sweep-hit-rate"),
+        ("staleness_rejection_rate", "OCC staleness rejections / lookup",
+         "sweep-staleness"),
+    )
+    for metric, y_label, name in metrics:
+        figure = ExperimentResult(
+            experiment=name,
+            title="serving trade-off over %d variants (%d queries)"
+            % (result.replicates, result.queries),
+            x_label="r",
+            y_label=y_label,
+        )
+        series: Dict[str, object] = {}
+        for row in rows:
+            if metric == "staleness_rejection_rate":
+                lookups = row.get("cache_hits", 0.0) + row.get("cache_misses", 0.0)
+                if not lookups:
+                    continue
+                value = row.get("cache_stale_evictions", 0.0) / lookups
+            elif metric in row:
+                value = row[metric]
+            else:
+                continue
+            label = _budget_label(row)
+            if label not in series:
+                series[label] = figure.add_series(label)
+            series[label].add(row["r"], value)
+        if figure.series:
+            figures.append(figure)
+    return figures
+
+
+def load_telemetry_rows(path: str) -> List[Dict[str, float]]:
+    """Parse a telemetry JSONL file back into row dictionaries."""
+    rows: List[Dict[str, float]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def telemetry_series_figure(
+    rows: Iterable[Dict[str, float]],
+    metrics: Optional[Sequence[str]] = None,
+    kind: str = "window",
+) -> Optional[ExperimentResult]:
+    """Metric evolution over the stream from windowed telemetry rows.
+
+    ``rows`` are recorder rows (in memory or via
+    :func:`load_telemetry_rows`); only rows of the given ``kind`` are
+    plotted, with ``event_end`` as the x axis and one series per metric
+    (``kind="sweep"`` rows additionally split each metric per variant).
+    Returns ``None`` when no matching rows carry any requested metric.
+    """
+    metrics = tuple(metrics) if metrics is not None else DEFAULT_SERIES_METRICS
+    figure = ExperimentResult(
+        experiment="telemetry-series",
+        title="windowed telemetry over the query stream",
+        x_label="events",
+        y_label="per-window metric value",
+    )
+    series: Dict[str, object] = {}
+    for row in rows:
+        if row.get("kind", "window") != kind or "event_end" not in row:
+            continue
+        variant = row.get("variant")
+        for metric in metrics:
+            if metric not in row:
+                continue
+            name = "%s[%s]" % (metric, variant) if variant else metric
+            if name not in series:
+                series[name] = figure.add_series(name)
+            series[name].add(row["event_end"], row[metric])
+    return figure if figure.series else None
+
+
+__all__ = [
+    "DEFAULT_SERIES_METRICS",
+    "load_telemetry_rows",
+    "sweep_tradeoff_figures",
+    "telemetry_series_figure",
+]

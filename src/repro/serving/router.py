@@ -24,6 +24,7 @@ from repro.community.config import CommunityConfig
 from repro.core.policy import RECOMMENDED_POLICY, RankPromotionPolicy
 from repro.serving.cache import CacheStats, ResultPageCache
 from repro.serving.engine import ServingEngine
+from repro.telemetry.recorder import NULL_RECORDER
 from repro.utils.rng import RandomSource, spawn_rngs
 
 
@@ -47,8 +48,10 @@ class ShardedRouter:
         self._pending_indices: List[List[int]] = [[] for _ in self.engines]
         self._pending_visits: List[List[float]] = [[] for _ in self.engines]
         self.queries_routed = 0
+        self.queries_per_shard = [0] * len(self.engines)
         self.feedback_buffered = 0
         self.flushes = 0
+        self.telemetry = NULL_RECORDER
 
     @classmethod
     def from_community(
@@ -116,19 +119,43 @@ class ShardedRouter:
         """Shard index the query is routed to (stable across runs)."""
         return stable_shard_hash(query_id) % self.n_shards
 
+    def attach_telemetry(self, recorder) -> None:
+        """Point the router, every engine and every cache at ``recorder``.
+
+        Pass :data:`~repro.telemetry.recorder.NULL_RECORDER` to detach.
+        The recorder's shard counters must cover ``n_shards`` shards.
+        """
+        self.telemetry = recorder
+        for engine in self.engines:
+            engine.telemetry = recorder
+            if engine.cache is not None:
+                engine.cache.telemetry = recorder
+
     def serve(self, query_id: Hashable, k: int) -> np.ndarray:
         """Serve the top-``k`` result page for one query."""
+        shard = self.shard_for(query_id)
         self.queries_routed += 1
-        return self.engines[self.shard_for(query_id)].serve(k)
+        self.queries_per_shard[shard] += 1
+        page = self.engines[shard].serve(k)
+        # Recorded after the engine call so the cache outcome of this very
+        # query is inside the window row a boundary tick emits.
+        if self.telemetry.enabled:
+            self.telemetry.record_query(shard)
+        return page
 
     def submit_feedback(
         self, query_id: Hashable, page_index: int, visits: float = 1.0
     ) -> None:
         """Buffer one visit-feedback event for the query's shard."""
         shard = self.shard_for(query_id)
-        self._pending_indices[shard].append(int(page_index))
+        page_index = int(page_index)
+        self._pending_indices[shard].append(page_index)
         self._pending_visits[shard].append(float(visits))
         self.feedback_buffered += 1
+        if self.telemetry.enabled:
+            self.telemetry.record_feedback(
+                float(self.engines[shard].state.pool.quality[page_index])
+            )
 
     def flush_feedback(self) -> int:
         """Apply all buffered feedback, one batched update per shard.
@@ -151,6 +178,8 @@ class ShardedRouter:
             self._pending_visits[shard] = []
         if applied:
             self.flushes += 1
+            if self.telemetry.enabled:
+                self.telemetry.record_flush(applied)
         return applied
 
     def advance_day(self) -> None:
@@ -170,6 +199,7 @@ class ShardedRouter:
             total.misses += stats.misses
             total.stale_evictions += stats.stale_evictions
             total.capacity_evictions += stats.capacity_evictions
+            total.invalidations += stats.invalidations
         return total
 
     def stats(self) -> Dict[str, float]:
@@ -181,6 +211,8 @@ class ShardedRouter:
             "feedback_buffered": float(self.feedback_buffered),
             "flushes": float(self.flushes),
         }
+        for shard, count in enumerate(self.queries_per_shard):
+            report["queries_shard_%d" % shard] = float(count)
         report.update(self.cache_stats().as_dict())
         return report
 

@@ -328,6 +328,7 @@ class _VariantReplay:
         self.pages_crc = 0
         self.clicked_crc = 0
         self.feedback_events = 0
+        self.clicked_quality_sum = 0.0
         # Window scratch, set by route()/finish().
         self._w_shards: Optional[np.ndarray] = None
         self._w_lanes: Optional[np.ndarray] = None
@@ -438,6 +439,9 @@ class _VariantReplay:
                 router._pending_visits[int(lanes[0])].extend(
                     [1.0] * clicked.size
                 )
+                self.clicked_quality_sum += float(
+                    self.lanes[int(lanes[0])].engine.state.pool.quality[clicked].sum()
+                )
             else:
                 click_lanes = shards[clicks]
                 clicked = np.empty(clicks.size, dtype=np.int64)
@@ -453,13 +457,19 @@ class _VariantReplay:
                     clicked[mine] = values
                     router._pending_indices[lane_index].extend(values.tolist())
                     router._pending_visits[lane_index].extend([1.0] * hits)
+                    self.clicked_quality_sum += float(
+                        self.lanes[lane_index].engine.state.pool.quality[values].sum()
+                    )
             router.feedback_buffered += int(clicks.size)
             self.feedback_events += int(clicks.size)
             self.clicked_crc = zlib.crc32(clicked.tobytes(), self.clicked_crc)
 
         router.queries_routed += window
+        per_shard = router.queries_per_shard
         for lane_index, count in zip(lanes, counts):
-            engine = self.lanes[int(lane_index)].engine
+            lane_index = int(lane_index)
+            per_shard[lane_index] += int(count)
+            engine = self.lanes[lane_index].engine
             if engine.cache is not None and count > 1:
                 engine.cache.stats.hits += int(count) - 1
 
@@ -495,7 +505,16 @@ class _VariantReplay:
                 router._pending_visits[int(shards[offset])].append(1.0)
                 router.feedback_buffered += 1
                 self.feedback_events += 1
+                self.clicked_quality_sum += float(
+                    lane.engine.state.pool.quality[clicked[-1]]
+                )
         router.queries_routed += end - start
+        per_shard = router.queries_per_shard
+        for shard, count in enumerate(
+            np.bincount(shards, minlength=len(per_shard))
+        ):
+            if count:
+                per_shard[shard] += int(count)
         if clicked:
             self.clicked_crc = zlib.crc32(
                 np.asarray(clicked, dtype=np.int64).tobytes(), self.clicked_crc
@@ -512,6 +531,7 @@ class _VariantReplay:
         result.feedback_events = self.feedback_events
         result.pages_crc = self.pages_crc
         result.clicked_crc = self.clicked_crc  # crc32 of b"" is 0, matching
+        result.clicked_quality_sum = self.clicked_quality_sum
         return result
 
 
@@ -591,11 +611,16 @@ class ServingSweep:
         """The per-variant routers (parity inspection and tests)."""
         return [replay.router for replay in self._replays]
 
-    def run(self, trace: RecordedTrace) -> List:
+    def run(self, trace: RecordedTrace, telemetry=None) -> List:
         """Replay the trace against every variant; one result per variant.
 
         Returns one :class:`~repro.simulation.replay.TraceReplayResult`
-        per variant, in variant order.
+        per variant, in variant order.  With a live ``telemetry`` recorder
+        the sweep emits one windowed row per (flush/day boundary, variant)
+        — the per-variant counter deltas over that trace window — giving
+        the figure drivers a stream-position axis without perturbing the
+        lockstep hot path (rows are derived from ``router.stats()`` at
+        boundaries only).
         """
         query_ids = np.asarray(trace.query_ids, dtype=np.int64)
         unique_ids, inverse = np.unique(query_ids, return_inverse=True)
@@ -615,6 +640,9 @@ class ServingSweep:
                 if replay.variant.n_shards > 1:
                     replay.shard_table = tables[replay.variant.n_shards]
 
+        live = telemetry is not None and telemetry.enabled
+        if live:
+            baselines = [dict(replay.router.stats()) for replay in self._replays]
         previous = 0
         for boundary in trace.boundaries():
             boundary = int(boundary)
@@ -626,9 +654,33 @@ class ServingSweep:
                 self._flush_all()  # advance_day applies buffered feedback first
                 for replay in self._replays:
                     replay.router.advance_day()
+            if live and boundary > previous:
+                self._emit_boundary_rows(telemetry, baselines, previous, boundary)
             previous = boundary
         self._flush_all()
         return [replay.result(trace) for replay in self._replays]
+
+    def _emit_boundary_rows(
+        self, telemetry, baselines: List[Dict[str, float]], start: int, end: int
+    ) -> None:
+        """Emit per-variant counter deltas for one trace window."""
+        for replay, baseline in zip(self._replays, baselines):
+            current = replay.router.stats()
+            row: Dict[str, float] = {
+                "kind": "sweep",
+                "variant": replay.variant.label(),
+                "event_start": float(start),
+                "event_end": float(end),
+            }
+            for name, value in current.items():
+                if name in ("n_shards", "n_pages", "cache_hit_rate"):
+                    continue
+                row[name] = value - baseline.get(name, 0.0)
+            hits = row.get("cache_hits", 0.0)
+            lookups = hits + row.get("cache_misses", 0.0)
+            row["cache_hit_rate"] = hits / lookups if lookups else 0.0
+            telemetry.emit_row(row)
+            baseline.update(current)
 
     # ------------------------------------------------------------- internals
 
@@ -1032,6 +1084,11 @@ class SweepResult:
                 "feedback_events": float(result.feedback_events),
                 "pages_crc": float(result.pages_crc),
             }
+            if result.feedback_events:
+                # QPC (quality per click): the paper's serving-quality axis.
+                row["qpc"] = (
+                    float(result.clicked_quality_sum) / result.feedback_events
+                )
             row.update(result.stats)
             rows.append(row)
         return rows
@@ -1083,6 +1140,7 @@ def run_sweep(
     n_workers: Optional[int] = None,
     attention: Optional[AttentionModel] = None,
     warm_awareness: bool = False,
+    telemetry=None,
 ) -> SweepResult:
     """Replay a recorded stream against a variant grid, optionally sharded.
 
@@ -1099,6 +1157,11 @@ def run_sweep(
     if not variants:
         raise ValueError("run_sweep needs at least one variant")
     n_workers = default_workers(len(variants), n_workers)
+    if telemetry is not None and telemetry.enabled:
+        # A recorder is process-local state (open JSONL handle, window
+        # ring); pool workers could not share it, so a live recorder pins
+        # the sweep in-process.
+        n_workers = 1
     started = time.perf_counter()
     if n_workers <= 1:
         sweep = ServingSweep(
@@ -1108,7 +1171,7 @@ def run_sweep(
             attention=attention,
             warm_awareness=warm_awareness,
         )
-        results = sweep.run(trace)
+        results = sweep.run(trace, telemetry=telemetry)
     else:
         blocks = np.array_split(np.arange(len(variants)), n_workers)
         collected: List[Optional[List]] = [None] * len(blocks)
@@ -1154,6 +1217,8 @@ def run_sweep_benchmark(
     check_parity: bool = True,
     sweep_repetitions: int = 3,
     backend: Optional[str] = None,
+    telemetry_window: Optional[int] = None,
+    telemetry_out: Optional[str] = None,
 ) -> Dict[str, float]:
     """Benchmark the lockstep sweep against R independent standalone replays.
 
@@ -1189,6 +1254,7 @@ def run_sweep_benchmark(
                 n_distinct_queries=n_distinct_queries, day_every=day_every,
                 n_workers=n_workers, warm_awareness=warm_awareness,
                 check_parity=check_parity, sweep_repetitions=sweep_repetitions,
+                telemetry_window=telemetry_window, telemetry_out=telemetry_out,
             )
     kernels = get_backend()
     kernels.warmup()  # JIT backends compile outside the timed regions
@@ -1252,6 +1318,32 @@ def run_sweep_benchmark(
             for ours, theirs in zip(sweep.results, independent)
         )
 
+    recorder = None
+    if telemetry_window is not None or telemetry_out is not None:
+        # One extra instrumented sweep pass, outside the timed regions:
+        # the reported speedup ratio stays telemetry-free while the JSONL
+        # rows and snapshot describe the same trace/variants.
+        from repro.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder(
+            window=telemetry_window or trace.flush_every,
+            out=telemetry_out,
+            label="sweep",
+        )
+        recorder.install_kernel_spans()
+        try:
+            run_sweep(
+                community,
+                variants,
+                trace,
+                seed=seed,
+                n_workers=1,
+                warm_awareness=warm_awareness,
+                telemetry=recorder,
+            )
+        finally:
+            recorder.close()
+
     replicates = len(variants)
     qps_sweep = sweep.queries_per_second
     qps_independent = (
@@ -1281,6 +1373,8 @@ def run_sweep_benchmark(
     }
     if parity is not None:
         report["parity_bit_identical"] = 1.0 if parity else 0.0
+    if recorder is not None:
+        report.update(recorder.snapshot())
     return report
 
 

@@ -25,6 +25,7 @@ run regardless of the worker count.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Deque, List, Optional, Sequence
@@ -41,6 +42,7 @@ from repro.metrics.qpc import QPCAccumulator
 from repro.metrics.tbp import tbp_from_trajectory
 from repro.simulation.config import SimulationConfig
 from repro.simulation.result import SimulationResult
+from repro.telemetry.recorder import NULL_RECORDER
 from repro.utils.parallel import default_workers
 from repro.utils.rng import RandomSource, spawn_rngs
 from repro.visits.attention import AttentionModel, PowerLawAttention
@@ -112,6 +114,7 @@ class BatchSimulator:
         self._shares = np.empty((self.replicates, self.pool.n), dtype=float)
         self.adaptive_rank = bool(adaptive_rank)
         self._prev_order: Optional[np.ndarray] = None
+        self.telemetry = NULL_RECORDER
 
     @property
     def replicates(self) -> int:
@@ -133,6 +136,17 @@ class BatchSimulator:
         ``compute_all_visits`` is off (warm-up days, where nothing observes
         the visits and the extra elementwise pass would be wasted).
         """
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            day = self.day
+            started = time.perf_counter()
+            try:
+                return self._step(compute_all_visits)
+            finally:
+                telemetry.record_day_step(day, time.perf_counter() - started)
+        return self._step(compute_all_visits)
+
+    def _step(self, compute_all_visits: bool) -> Optional[np.ndarray]:
         pool = self.pool
         config = self.config
         context = BatchRankingContext.from_batch_pool(
@@ -286,6 +300,7 @@ def _run_batch_block(
     rngs: Sequence[np.random.Generator],
     history_length: int,
     adaptive_rank: bool = False,
+    telemetry=None,
 ) -> List[SimulationResult]:
     """Worker entry point: advance one replicate block to completion."""
     simulator = BatchSimulator(
@@ -299,6 +314,8 @@ def _run_batch_block(
         history_length=history_length,
         adaptive_rank=adaptive_rank,
     )
+    if telemetry is not None:
+        simulator.telemetry = telemetry
     return simulator.run()
 
 
@@ -315,8 +332,12 @@ def run_batch(
     history_length: int = 0,
     n_workers: Optional[int] = None,
     adaptive_rank: bool = False,
+    telemetry=None,
 ) -> List[SimulationResult]:
     """Run ``R`` replicates through the batch engine, optionally sharded.
+
+    A live ``telemetry`` recorder (per-day step timings and kernel spans)
+    is process-local state, so it pins the run in-process (one worker).
 
     With more than one worker the replicate rows are split into contiguous
     blocks, one :class:`BatchSimulator` per worker process.  Replicates are
@@ -338,10 +359,12 @@ def run_batch(
     if not rngs:
         return []
     n_workers = default_workers(len(rngs), n_workers)
+    if telemetry is not None and telemetry.enabled:
+        n_workers = 1
     if n_workers <= 1:
         return _run_batch_block(
             community, ranker, config, attention, surfing, lifecycle,
-            rngs, history_length, adaptive_rank,
+            rngs, history_length, adaptive_rank, telemetry,
         )
 
     blocks = np.array_split(np.arange(len(rngs)), n_workers)

@@ -41,6 +41,8 @@ def run_simulation_benchmark(
     check_parity: bool = True,
     backend: Optional[str] = None,
     adaptive_rank: bool = False,
+    telemetry_window: Optional[int] = None,
+    telemetry_out: Optional[str] = None,
 ) -> Dict[str, float]:
     """Time batch vs sequential replicate runs; return a flat metrics dict.
 
@@ -78,6 +80,7 @@ def run_simulation_benchmark(
                 warmup_days=warmup_days, measure_days=measure_days, mode=mode,
                 seed=seed, n_workers=n_workers, check_parity=check_parity,
                 adaptive_rank=adaptive_rank,
+                telemetry_window=telemetry_window, telemetry_out=telemetry_out,
             )
     kernels = get_backend()
     kernels.warmup()  # JIT backends compile outside the timed regions
@@ -101,12 +104,30 @@ def run_simulation_benchmark(
     )
     sequential_seconds = time.perf_counter() - started
 
+    recorder = None
+    if telemetry_window is not None or telemetry_out is not None:
+        from repro.telemetry import TelemetryRecorder
+
+        # The window is event-driven and sim-bench's events are days, so
+        # the requested window is honored as-is (days per row).
+        recorder = TelemetryRecorder(
+            window=telemetry_window or days_total,
+            out=telemetry_out,
+            label="sim",
+        )
+        recorder.install_kernel_spans()
+
     started = time.perf_counter()
-    batch = _run_replicates(
-        community, policy, config,
-        repetitions=replicates, seed=seed, engine="batch", n_workers=n_workers,
-        adaptive_rank=adaptive_rank,
-    )
+    try:
+        batch = _run_replicates(
+            community, policy, config,
+            repetitions=replicates, seed=seed, engine="batch",
+            n_workers=n_workers, adaptive_rank=adaptive_rank,
+            telemetry=recorder,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     batch_seconds = time.perf_counter() - started
 
     page_days_sequential = baseline_replicates * days_total * community.n_pages
@@ -141,6 +162,8 @@ def run_simulation_benchmark(
     }
     if parity is not None:
         report["parity_bit_identical"] = 1.0 if parity else 0.0
+    if recorder is not None:
+        report.update(recorder.snapshot())
     return report
 
 

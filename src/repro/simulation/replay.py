@@ -92,12 +92,18 @@ class TraceReplayResult:
         final_versions: per-shard popularity-state versions after the replay.
         elapsed_seconds: wall time of the replay.
         pages: served pages per query when recorded, else ``None``.
+        clicked_quality_sum: summed quality of the clicked pages (QPC
+            numerator).  Deliberately outside :meth:`matches`: the sweep
+            accumulates it with vectorized per-window sums whose float
+            summation order differs from the per-click scalar additions
+            here, so the two agree to rounding, not bit for bit.
     """
 
     queries: int = 0
     feedback_events: int = 0
     pages_crc: int = 0
     clicked_crc: int = 0
+    clicked_quality_sum: float = 0.0
     stats: Dict[str, float] = field(default_factory=dict)
     final_awareness: List[np.ndarray] = field(default_factory=list)
     final_versions: List[int] = field(default_factory=list)
@@ -165,6 +171,7 @@ def replay_trace(
 
     pages_crc = 0
     clicked: List[int] = []
+    clicked_quality = 0.0
     feedback_events = 0
     pages_log: Optional[List[np.ndarray]] = [] if record_pages else None
 
@@ -181,6 +188,11 @@ def replay_trace(
             )
             position = min(position, page.size - 1)
             clicked.append(int(page[position]))
+            clicked_quality += float(
+                router.engines[router.shard_for(query_id)].state.pool.quality[
+                    clicked[-1]
+                ]
+            )
             router.submit_feedback(query_id, clicked[-1])
             feedback_events += 1
         if served % flush_every == 0:
@@ -195,6 +207,7 @@ def replay_trace(
     result.feedback_events = feedback_events
     result.pages_crc = pages_crc
     result.clicked_crc = zlib.crc32(np.asarray(clicked, dtype=np.int64).tobytes())
+    result.clicked_quality_sum = clicked_quality
     result.elapsed_seconds = elapsed
     result.pages = pages_log
     return result

@@ -68,6 +68,7 @@ def _run_replicates(
     engine: str = "batch",
     n_workers: Optional[int] = None,
     adaptive_rank: bool = False,
+    telemetry=None,
 ) -> List[SimulationResult]:
     """Run all repetitions of one configuration; one result per replicate.
 
@@ -94,6 +95,7 @@ def _run_replicates(
         rngs=rngs,
         n_workers=n_workers,
         adaptive_rank=adaptive_rank,
+        telemetry=telemetry,
     )
 
 

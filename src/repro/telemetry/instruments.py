@@ -1,0 +1,210 @@
+"""Core telemetry instruments: counters, gauges and a streaming quantile.
+
+The instruments here are deliberately boring — plain Python attribute
+arithmetic — because they run on serving hot paths.  The one non-trivial
+member is :class:`P2Quantile`, the Jain & Chlamtac P² estimator: a
+streaming quantile that keeps five markers instead of the observations,
+so a staleness or latency percentile over millions of events costs O(1)
+memory and ~a dozen float operations per observation.
+
+Accuracy contract (tested in ``tests/test_telemetry.py``):
+
+* with five or fewer observations the estimate is **exact** — it is
+  computed by ``numpy.percentile`` over the stored values, bit for bit;
+* once the marker phase starts, the estimate is always bracketed by the
+  observed minimum and maximum, and for continuous i.i.d. streams the
+  estimate of quantile ``q`` lies between the empirical ``q - 0.15`` and
+  ``q + 0.15`` quantiles (hypothesis-fuzzed against ``numpy.percentile``
+  at n >= 100).  Heavily discrete or adversarial streams can exceed that
+  band — the P² parabolic interpolation assumes a locally smooth
+  distribution — which is the documented trade-off for O(1) memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default one event)."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins instrument (queue depths, current window size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac).
+
+    Tracks one quantile ``q`` with five markers whose heights converge on
+    the ``(0, q/2, q, (1+q)/2, 1)`` empirical quantiles.  See the module
+    docstring for the accuracy contract.
+    """
+
+    __slots__ = ("q", "count", "_initial", "_heights", "_positions", "_desired",
+                 "_increments")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must lie strictly between 0 and 1, got %r" % q)
+        self.q = float(q)
+        self.count = 0
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into the estimate.
+
+        The marker-update bookkeeping is hand-unrolled (no inner loops):
+        this runs on serving hot paths where every bytecode shows up in
+        the telemetry overhead ratio the benchmarks gate.
+        """
+        self.count += 1
+        if self.count <= 5:
+            self._initial.append(float(x))
+            if self.count == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                                 3.0 + 2.0 * q, 5.0]
+            return
+        heights = self._heights
+        positions = self._positions
+        # Locate the marker cell containing x, extending the extremes, and
+        # shift every marker position above the cell by one.
+        if x < heights[0]:
+            heights[0] = x
+            positions[1] += 1.0
+            positions[2] += 1.0
+            positions[3] += 1.0
+            positions[4] += 1.0
+        elif x < heights[1]:
+            positions[1] += 1.0
+            positions[2] += 1.0
+            positions[3] += 1.0
+            positions[4] += 1.0
+        elif x < heights[2]:
+            positions[2] += 1.0
+            positions[3] += 1.0
+            positions[4] += 1.0
+        elif x < heights[3]:
+            positions[3] += 1.0
+            positions[4] += 1.0
+        else:
+            if x >= heights[4]:
+                heights[4] = x
+            positions[4] += 1.0
+        # Desired positions drift deterministically; markers 0 and 4 are
+        # pinned (increment 0 and 1 respectively) and never consulted by
+        # the adjustment step, so only the interior three are maintained.
+        desired = self._desired
+        increments = self._increments
+        desired[1] += increments[1]
+        desired[2] += increments[2]
+        desired[3] += increments[3]
+        # Adjust the three interior markers toward their desired positions.
+        for index in (1, 2, 3):
+            delta = desired[index] - positions[index]
+            if (delta >= 1.0 and positions[index + 1] - positions[index] > 1.0) or (
+                delta <= -1.0 and positions[index - 1] - positions[index] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        below = positions[index] - positions[index - 1]
+        above = positions[index + 1] - positions[index]
+        span = positions[index + 1] - positions[index - 1]
+        return heights[index] + step / span * (
+            (below + step) * (heights[index + 1] - heights[index]) / above
+            + (above - step) * (heights[index] - heights[index - 1]) / below
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        neighbor = index + int(step)
+        return heights[index] + step * (heights[neighbor] - heights[index]) / (
+            positions[neighbor] - positions[index]
+        )
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (NaN before the first observation).
+
+        In the storage phase (five or fewer observations) the estimate is
+        ``numpy.percentile`` over the stored values — exact by definition;
+        afterwards it is the middle marker's height.
+        """
+        if self.count == 0:
+            return float("nan")
+        if self.count <= 5:
+            return float(np.percentile(self._initial, self.q * 100.0))
+        return self._heights[2]
+
+
+class QuantileBank:
+    """A small family of P² estimators fed by one observation stream."""
+
+    __slots__ = ("sketches", "_sketch_tuple")
+
+    def __init__(self, quantiles=(0.5, 0.9)) -> None:
+        self.sketches: Dict[float, P2Quantile] = {
+            float(q): P2Quantile(q) for q in quantiles
+        }
+        self._sketch_tuple = tuple(self.sketches.values())
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into every tracked quantile."""
+        for sketch in self._sketch_tuple:
+            sketch.observe(x)
+
+    @property
+    def count(self) -> int:
+        """Observations folded in so far."""
+        for sketch in self.sketches.values():
+            return sketch.count
+        return 0
+
+    def values(self, prefix: str = "p") -> Dict[str, float]:
+        """Flat ``{"p50": ..., "p90": ...}`` estimate dictionary."""
+        report: Dict[str, float] = {}
+        for q, sketch in sorted(self.sketches.items()):
+            label = ("%g" % (q * 100.0)).replace(".", "_")
+            report["%s%s" % (prefix, label)] = sketch.value
+        return report
+
+
+__all__ = ["Counter", "Gauge", "P2Quantile", "QuantileBank"]

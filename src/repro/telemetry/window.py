@@ -1,0 +1,146 @@
+"""O(1)-per-event sliding-window aggregation over a counter vector.
+
+The naive way to report "cache hit rate over the last W queries" is to
+keep the last W per-query rows and re-aggregate them on demand — O(W)
+memory and O(W) work per report, per metric.  This module replaces that
+per-row recomputation with incremental window state (the window-function
+optimization idea: evaluate the frame from running state instead of
+re-scanning it):
+
+* every metric is a **cumulative** counter, bumped in O(1) as events
+  stream in;
+* a ring of **sub-window snapshots** records the cumulative vector at
+  every bucket boundary (``window / buckets`` events apart);
+* the trailing-window aggregate is then ``cumulative_now - snapshot at
+  the window's start`` — two vector reads, no rescan, for any number of
+  metrics.
+
+Because a window aggregate is a *difference of cumulative sums* rather
+than a sum of evicted-and-re-added buckets, no floating-point drift
+accumulates over the stream; in particular, while the stream is shorter
+than the window the baseline snapshot is the all-zeros origin and every
+windowed value equals the cumulative (end-of-run) value **bit for bit**
+— the exactness property ``tests/test_telemetry.py`` pins down.
+
+The window advances in *events* (served queries), not wall time: the
+serving stack is replay-driven and deterministic per event index, so
+event-indexed windows make telemetry reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+
+class SlidingWindowCounters:
+    """Cumulative counters with a snapshot ring for trailing-window deltas.
+
+    Args:
+        fields: ordered metric names; callers address them by index (the
+            recorder resolves indices once at construction, keeping the
+            per-event path free of dict lookups).
+        window: number of events one full window spans.
+        buckets: sub-windows per window; the snapshot/emission granularity
+            (window deltas are exact at every boundary, the ring just
+            bounds how often boundaries occur and how much history is
+            kept — ``buckets`` snapshots, independent of the stream
+            length).
+    """
+
+    def __init__(self, fields: Sequence[str], window: int, buckets: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1, got %d" % window)
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1, got %d" % buckets)
+        self.fields = [str(name) for name in fields]
+        if len(set(self.fields)) != len(self.fields):
+            raise ValueError("field names must be unique")
+        self.window = int(window)
+        self.bucket_size = max(1, -(-self.window // int(buckets)))  # ceil
+        self.capacity = -(-self.window // self.bucket_size)
+        self.events = 0
+        self.cumulative: List[float] = [0.0] * len(self.fields)
+        # Ring of (event index, wall time, cumulative snapshot).  Seeded
+        # with the zero origin so partial windows at the head of the stream
+        # aggregate from event 0; maxlen keeps exactly one snapshot at
+        # events - window once the stream saturates the ring.
+        self._ring: Deque[Tuple[int, float, List[float]]] = deque(
+            [(0, time.perf_counter(), [0.0] * len(self.fields))],
+            maxlen=self.capacity,
+        )
+
+    def index_of(self, field: str) -> int:
+        """Resolve a field name to its counter index (construction time)."""
+        return self.fields.index(field)
+
+    def add(self, index: int, amount: float = 1.0) -> None:
+        """Bump one counter; O(1), no window bookkeeping."""
+        self.cumulative[index] += amount
+
+    def tick(self) -> bool:
+        """Advance the event stream by one; True at a bucket boundary.
+
+        The caller emits a row when ``tick`` returns True (and typically a
+        final partial row at stream end via :meth:`delta`), then calls
+        :meth:`rotate` to push the boundary snapshot.
+        """
+        self.events += 1
+        return self.events % self.bucket_size == 0
+
+    def rotate(self) -> None:
+        """Push the current cumulative vector as a bucket-boundary snapshot."""
+        self._ring.append(
+            (self.events, time.perf_counter(), list(self.cumulative))
+        )
+
+    def pending(self) -> bool:
+        """True when counters moved since the last snapshot.
+
+        Catches both a partial bucket and trailing non-query events (e.g.
+        the feedback of the final query, an end-of-stream flush) that
+        arrived after the last boundary row — exactly the cases a final
+        :meth:`~repro.telemetry.recorder.TelemetryRecorder.flush_window`
+        row must still cover for windowed rows to add up to the end-of-run
+        totals.
+        """
+        return self.cumulative != self._ring[-1][2]
+
+    def delta(self) -> Tuple[int, int, float, List[float]]:
+        """Trailing-window aggregate as of now.
+
+        Returns ``(start_event, end_event, elapsed_seconds, values)``
+        where ``values[i]`` is the in-window total of ``fields[i]`` over
+        events ``(start_event, end_event]`` and ``elapsed_seconds`` the
+        wall time since the baseline snapshot.
+        """
+        start_event, started, base = self._ring[0]
+        now = time.perf_counter()
+        values = [
+            current - origin for current, origin in zip(self.cumulative, base)
+        ]
+        return start_event, self.events, now - started, values
+
+    def row(self) -> Dict[str, float]:
+        """The trailing-window aggregate as a flat named dictionary."""
+        start_event, end_event, elapsed, values = self.delta()
+        row: Dict[str, float] = {
+            "event_start": float(start_event),
+            "event_end": float(end_event),
+            "window_events": float(end_event - start_event),
+            "window_seconds": elapsed,
+        }
+        for name, value in zip(self.fields, values):
+            row[name] = value
+        return row
+
+
+def ratio(numerator: float, denominator: float) -> Optional[float]:
+    """Safe ratio for derived window metrics (None when undefined)."""
+    if denominator == 0:
+        return None
+    return numerator / denominator
+
+
+__all__ = ["SlidingWindowCounters", "ratio"]
