@@ -41,6 +41,41 @@ SERVING_INFO_KEYS = (
     "cache_stale_evictions",
     "feedback_events",
     "flushes",
+    "flush_committed",
+    "flush_conflicts",
+    "flush_retries",
+    "flush_dead_letter_events",
+    "flush_dropped_events",
+)
+
+#: Chaos metrics copied into ``extra_info`` for the chaos recovery
+#: benchmark: recovery correctness gates plus the fault/degradation
+#: accounting that explains a run.
+CHAOS_INFO_KEYS = (
+    "kernel_backend",
+    "n_pages",
+    "n_queries",
+    "n_shards",
+    "qps",
+    "replayed_queries",
+    "shed_queries",
+    "degraded_serves",
+    "degraded_serve_fraction",
+    "degraded_serve_recovery_ratio",
+    "load_sheds",
+    "occ_conflicts",
+    "occ_retries",
+    "dead_letter_batches",
+    "dead_letter_events",
+    "recoveries",
+    "recovery_seconds",
+    "replayed_entries",
+    "recovery_bit_identical",
+    "clean_parity",
+    "flush_committed",
+    "flush_conflicts",
+    "flush_retries",
+    "flush_dropped_events",
 )
 
 #: Dynamic ``extra_info`` key prefixes: per-shard throughput and the

@@ -1,0 +1,48 @@
+"""Benchmark: chaos replay — recovery correctness under the pinned fault plan.
+
+Replays a recorded query trace at the gated serving benchmark's paper-plus
+scale (200k pages) with the robustness layer armed and the repository's
+pinned fault plan firing: one mid-run shard crash, an OCC conflict burst,
+a stall, and a cache poisoning.  The run is gated on *correctness*, not
+just throughput: with the default retry policy nothing may dead-letter,
+every crash recovery must restore the shard bit-identically (both against
+the pre-crash digest and against an independently-built fault-free
+reference replayed to the same point), and the degraded-serve recovery
+ratio — the fraction of down-shard queries answered stale rather than
+shed — is floored in ``benchmarks/baselines/bench-floor.json``.
+"""
+
+from repro.robustness.chaos import run_chaos_benchmark
+
+from conftest import CHAOS_INFO_KEYS, run_report_once
+
+
+def test_bench_chaos_recovery(benchmark, bench_seed):
+    report = run_report_once(
+        benchmark,
+        run_chaos_benchmark,
+        CHAOS_INFO_KEYS,
+        n_pages=200_000,
+        n_queries=2_000,
+        k=20,
+        n_shards=4,
+        cache_capacity=64,
+        staleness_budget=4,
+        feedback_rate=0.2,
+        seed=bench_seed,
+    )
+    # The default retry policy must absorb the pinned conflict burst.
+    assert report["dead_letter_events"] == 0
+    assert report["occ_conflicts"] > 0
+    assert report["occ_retries"] > 0
+    # Crash recovery restored the shard bit-identically — against its own
+    # pre-crash digest and against the fault-free reference replay.
+    assert report["recoveries"] >= 1
+    assert report["recovery_bit_identical"] == 1.0
+    assert report["clean_parity"] == 1.0
+    # The outage was served stale, not shed (the ratio is also floored in
+    # the benchgate baseline).
+    assert report["degraded_serves"] > 0
+    assert report["degraded_serve_recovery_ratio"] > 0.0
+    assert report["replayed_queries"] == 2_000
+    assert report["qps"] > 0

@@ -6,6 +6,7 @@ Examples::
     python -m repro figure5 --scale fast --seed 3
     python -m repro figure7a --scale paper
     python -m repro serve-bench --pages 200000 --queries 5000 --shards 8
+    python -m repro chaos-bench --pages 200000 --queries 2000 --fault-plan plan.json
     python -m repro sim-bench --replicates 32 --sim-mode fluid
     python -m repro sweep-bench --grid-k 10,20 --grid-r 0.0,0.1 --grid-shards 1,2
     python -m repro sweep-fig --grid-r 0.0,0.1,0.2,0.3 --telemetry-window 256
@@ -25,7 +26,12 @@ replayed-query throughput against running the variants one at a time,
 including the per-variant bit-parity check.  ``sweep-fig`` runs one such
 sweep and renders the QPC / cache-hit-rate / staleness trade-off curves
 (plus, with ``--telemetry-window``, the windowed metric series) as ASCII
-figures.  All three benchmarks accept ``--telemetry-window`` /
+figures.  ``chaos-bench`` replays a recorded query trace with the
+robustness layer armed under a scripted fault plan (shard crashes and
+stalls, OCC write conflicts, batch drops, cache poisoning) and reports
+recovery time, dead-letter counts, the degraded-serve fraction, and the
+bit-identity of every crash recovery against the fault-free reference
+replay.  All the benchmarks accept ``--telemetry-window`` /
 ``--telemetry-out`` to stream windowed telemetry rows as JSON lines.
 """
 
@@ -51,8 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment to run (one of: list, serve-bench, sim-bench, "
-        "sweep-bench, sweep-fig, %s)" % ", ".join(list_experiments()),
+        help="experiment to run (one of: list, serve-bench, chaos-bench, "
+        "sim-bench, sweep-bench, sweep-fig, %s)" % ", ".join(list_experiments()),
     )
     parser.add_argument(
         "--scale",
@@ -100,6 +106,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.2,
         help="probability a served query feeds one visit back",
+    )
+
+    chaos = parser.add_argument_group("chaos-bench options")
+    chaos.add_argument(
+        "--fault-plan", default=None,
+        help="JSON fault-plan file to replay under (default: the pinned "
+        "reference plan — one crash, a conflict burst, a stall, a cache "
+        "poisoning)",
+    )
+    chaos.add_argument(
+        "--save-fault-plan", default=None,
+        help="write the fault plan actually used to this JSON file "
+        "(pin-and-replay workflow)",
+    )
+    chaos.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="OCC commit attempts per feedback batch before dead-lettering "
+        "(default: the RetryPolicy default of 4)",
+    )
+    chaos.add_argument(
+        "--backoff-base", type=float, default=None,
+        help="base retry backoff in seconds (scheduled, not slept; "
+        "default 1e-4, doubling per retry up to the policy cap)",
+    )
+    chaos.add_argument(
+        "--chaos-mode", choices=("fluid", "stochastic"), default="fluid",
+        help="popularity update mode for the chaos run",
+    )
+    chaos.add_argument(
+        "--chaos-flush", type=int, default=64,
+        help="queries between feedback batch flushes in the chaos trace",
     )
 
     simulation = parser.add_argument_group("sim-bench options")
@@ -238,6 +275,64 @@ def run_serve_bench(args: argparse.Namespace) -> int:
         ["metric", "value"],
         title="serve-bench — online serving vs full re-rank (n=%d, k=%d, shards=%d)"
         % (args.pages, args.k, args.shards),
+    )
+    for key in sorted(report):
+        table.add_row(key, report[key])
+    print(table.render())
+    return 0
+
+
+def run_chaos_bench(args: argparse.Namespace) -> int:
+    """Replay a trace under a fault plan and print the recovery metrics."""
+    from repro.robustness.chaos import pinned_fault_plan, run_chaos_benchmark
+    from repro.robustness.faults import FaultPlan
+    from repro.robustness.occ import RetryPolicy
+    from repro.utils.tables import Table
+
+    _apply_backend(args)
+    if args.fault_plan is not None:
+        plan = FaultPlan.load(args.fault_plan)
+    else:
+        plan = pinned_fault_plan(
+            args.queries, args.shards, flush_every=args.chaos_flush
+        )
+    if args.save_fault_plan is not None:
+        plan.save(args.save_fault_plan)
+    retry = None
+    if args.max_attempts is not None or args.backoff_base is not None:
+        defaults = RetryPolicy()
+        retry = RetryPolicy(
+            max_attempts=(
+                args.max_attempts
+                if args.max_attempts is not None
+                else defaults.max_attempts
+            ),
+            base_backoff_seconds=(
+                args.backoff_base
+                if args.backoff_base is not None
+                else defaults.base_backoff_seconds
+            ),
+        )
+    report = run_chaos_benchmark(
+        n_pages=args.pages,
+        n_queries=args.queries,
+        k=args.k,
+        n_shards=args.shards,
+        cache_capacity=args.cache_size if args.cache_size > 0 else None,
+        staleness_budget=args.staleness_budget,
+        feedback_rate=args.feedback_rate,
+        flush_every=args.chaos_flush,
+        mode=args.chaos_mode,
+        plan=plan,
+        retry=retry,
+        seed=args.seed,
+        telemetry_window=args.telemetry_window,
+        telemetry_out=args.telemetry_out,
+    )
+    table = Table(
+        ["metric", "value"],
+        title="chaos-bench — trace replay under faults (n=%d, q=%d, shards=%d, %s)"
+        % (args.pages, args.queries, args.shards, args.chaos_mode),
     )
     for key in sorted(report):
         table.add_row(key, report[key])
@@ -428,6 +523,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = run_serve_bench(args)
         print()
         print("completed serve-bench in %.1fs" % (time.time() - started))
+        return code
+
+    if args.experiment == "chaos-bench":
+        started = time.time()
+        code = run_chaos_bench(args)
+        print()
+        print("completed chaos-bench in %.1fs" % (time.time() - started))
         return code
 
     if args.experiment == "sim-bench":

@@ -1,0 +1,94 @@
+"""Fault injection, OCC write path, and crash-consistent recovery.
+
+The serving tier's robustness layer:
+
+* :mod:`repro.robustness.faults` — deterministic scripted fault plans and
+  the injector the router/engines consult behind a one-branch guard;
+* :mod:`repro.robustness.occ` — retry policy with jittered bounded
+  backoff, structured flush reports, and the dead-letter queue for the
+  OCC feedback write path;
+* :mod:`repro.robustness.journal` — shard checkpoints, the append-only
+  feedback journal, and bit-identical replay;
+* :mod:`repro.robustness.supervisor` — per-shard degradation (escalating
+  staleness budgets, load shedding) and crash/recover orchestration;
+* :mod:`repro.robustness.chaos` — the ``chaos-bench`` driver replaying a
+  recorded trace under a fault plan against a fault-free reference.
+
+Only the leaf modules (``faults``, ``occ`` — no serving dependencies) are
+imported eagerly: the serving engine/router import those from their own
+module bodies, so anything here that reached back into
+:mod:`repro.serving` at import time would be a cycle.  The rest of the
+public API resolves lazily on first attribute access (PEP 562).
+"""
+
+from repro.robustness.faults import (
+    FAULT_KINDS,
+    NULL_INJECTOR,
+    POISON_VERSION,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LoadShedError,
+    NullInjector,
+)
+from repro.robustness.occ import (
+    DeadLetter,
+    DeadLetterQueue,
+    FlushReport,
+    RetryPolicy,
+)
+
+#: Lazily-resolved exports and the submodules providing them.
+_LAZY = {
+    "FeedbackJournal": "repro.robustness.journal",
+    "JournalEntry": "repro.robustness.journal",
+    "ShardCheckpoint": "repro.robustness.journal",
+    "state_digest": "repro.robustness.journal",
+    "DegradationPolicy": "repro.robustness.supervisor",
+    "ShardSupervisor": "repro.robustness.supervisor",
+    "pinned_fault_plan": "repro.robustness.chaos",
+    "replay_chaos_trace": "repro.robustness.chaos",
+    "run_chaos_benchmark": "repro.robustness.chaos",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "NULL_INJECTOR",
+    "POISON_VERSION",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "DegradationPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FeedbackJournal",
+    "FlushReport",
+    "JournalEntry",
+    "LoadShedError",
+    "NullInjector",
+    "RetryPolicy",
+    "ShardCheckpoint",
+    "ShardSupervisor",
+    "pinned_fault_plan",
+    "replay_chaos_trace",
+    "run_chaos_benchmark",
+    "state_digest",
+]

@@ -1,0 +1,272 @@
+"""Crash-consistent shard state: checkpoints, feedback journal, replay.
+
+Recovery contract: *checkpoint + journal replay restores a shard's
+popularity state bit-identically to the moment of its last committed
+mutation*.  This works because serving queries never mutate popularity —
+only feedback commits, injected version bumps and lifecycle days do — and
+every one of those mutations is journaled:
+
+* ``commit`` entries record the batch arrays; in stochastic mode they also
+  capture the committing generator's bit-generator state, so the binomial
+  awareness draws replay exactly even though the generator is shared with
+  the serving path between commits;
+* ``bump`` entries record concurrent-writer version advances (the OCC
+  conflict injection), keeping the replayed version counter exact;
+* ``day`` entries record the lifecycle's *effect* (which slots were
+  replaced, at what time) rather than its random draws, so replay never
+  re-samples the Poisson process.
+
+The journal is truncated at every checkpoint, so replay cost is bounded by
+the work since the last checkpoint, not the run length.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.community.page import PagePool
+from repro.serving.state import PopularityState
+
+
+def state_digest(state: PopularityState, day: int) -> int:
+    """CRC32 fingerprint of a shard's popularity state (plus its day clock).
+
+    Covers everything the recovery contract promises to restore: awareness
+    counts, page identities and creation times, the version counter and the
+    lifecycle day.  Two states with equal digests are bit-identical in all
+    of those.
+    """
+    pool = state.pool
+    crc = zlib.crc32(np.ascontiguousarray(pool.aware_count).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(pool.quality).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(pool.created_at).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(pool.page_ids).tobytes(), crc)
+    crc = zlib.crc32(
+        np.asarray(
+            [state.version, int(day), pool._next_page_id], dtype=np.int64
+        ).tobytes(),
+        crc,
+    )
+    return crc
+
+
+@dataclass
+class ShardCheckpoint:
+    """A crash-consistent snapshot of one shard's popularity state.
+
+    All arrays are copies — the checkpoint stays valid after the live state
+    is mutated or destroyed.  ``restore_state`` rebuilds a fresh
+    :class:`~repro.serving.state.PopularityState` carrying exactly the
+    captured values.
+    """
+
+    aware_count: np.ndarray
+    quality: np.ndarray
+    created_at: np.ndarray
+    page_ids: np.ndarray
+    next_page_id: int
+    monitored_population: int
+    mode: str
+    version: int
+    day: int
+
+    @classmethod
+    def capture(cls, state: PopularityState, day: int) -> "ShardCheckpoint":
+        pool = state.pool
+        return cls(
+            aware_count=pool.aware_count.copy(),
+            quality=pool.quality.copy(),
+            created_at=pool.created_at.copy(),
+            page_ids=pool.page_ids.copy(),
+            next_page_id=int(pool._next_page_id),
+            monitored_population=int(pool.monitored_population),
+            mode=state.mode,
+            version=int(state.version),
+            day=int(day),
+        )
+
+    def restore_state(self) -> PopularityState:
+        """Rebuild a fresh popularity state equal to the captured one."""
+        pool = PagePool(self.quality, self.monitored_population)
+        pool.aware_count[:] = self.aware_count
+        pool.created_at[:] = self.created_at
+        pool.page_ids[:] = self.page_ids
+        pool._next_page_id = int(self.next_page_id)
+        state = PopularityState(pool, mode=self.mode)
+        state.version = int(self.version)
+        return state
+
+    def digest(self) -> int:
+        """Digest of the captured state (without materializing it)."""
+        return state_digest(self.restore_state(), self.day)
+
+    def save(self, path: str) -> None:
+        """Persist the checkpoint as one ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            aware_count=self.aware_count,
+            quality=self.quality,
+            created_at=self.created_at,
+            page_ids=self.page_ids,
+            scalars=np.asarray(
+                [self.next_page_id, self.monitored_population, self.version, self.day],
+                dtype=np.int64,
+            ),
+            mode=np.asarray(self.mode),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ShardCheckpoint":
+        with np.load(path, allow_pickle=False) as data:
+            scalars = data["scalars"]
+            return cls(
+                aware_count=data["aware_count"],
+                quality=data["quality"],
+                created_at=data["created_at"],
+                page_ids=data["page_ids"],
+                next_page_id=int(scalars[0]),
+                monitored_population=int(scalars[1]),
+                mode=str(data["mode"]),
+                version=int(scalars[2]),
+                day=int(scalars[3]),
+            )
+
+
+@dataclass
+class JournalEntry:
+    """One journaled mutation (``commit``, ``bump`` or ``day``)."""
+
+    kind: str
+    indices: Optional[np.ndarray] = None
+    visits: Optional[np.ndarray] = None
+    rng_state: Optional[Dict] = None
+    now: float = 0.0
+
+    def to_dict(self) -> Dict:
+        payload: Dict = {"kind": self.kind}
+        if self.indices is not None:
+            payload["indices"] = np.asarray(self.indices).tolist()
+        if self.visits is not None:
+            payload["visits"] = np.asarray(self.visits).tolist()
+        if self.rng_state is not None:
+            payload["rng_state"] = self.rng_state
+        if self.kind == "day":
+            payload["now"] = float(self.now)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "JournalEntry":
+        indices = payload.get("indices")
+        visits = payload.get("visits")
+        return cls(
+            kind=payload["kind"],
+            indices=None if indices is None else np.asarray(indices, dtype=int),
+            visits=None if visits is None else np.asarray(visits, dtype=float),
+            rng_state=payload.get("rng_state"),
+            now=float(payload.get("now", 0.0)),
+        )
+
+
+@dataclass
+class FeedbackJournal:
+    """Append-only log of popularity mutations since the last checkpoint."""
+
+    entries: List[JournalEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def day_count(self) -> int:
+        """Lifecycle days journaled since the last checkpoint."""
+        return sum(1 for entry in self.entries if entry.kind == "day")
+
+    def append_commit(
+        self,
+        indices: np.ndarray,
+        visits: np.ndarray,
+        rng_state: Optional[Dict] = None,
+    ) -> None:
+        """Record one committed feedback batch (arrays are copied)."""
+        self.entries.append(
+            JournalEntry(
+                kind="commit",
+                indices=np.asarray(indices, dtype=int).copy(),
+                visits=np.asarray(visits, dtype=float).copy(),
+                rng_state=rng_state,
+            )
+        )
+
+    def append_bump(self) -> None:
+        """Record a concurrent writer's version advance."""
+        self.entries.append(JournalEntry(kind="bump"))
+
+    def append_day(self, replaced: np.ndarray, now: float) -> None:
+        """Record one lifecycle day's replacement effect."""
+        self.entries.append(
+            JournalEntry(
+                kind="day",
+                indices=np.asarray(replaced, dtype=int).copy(),
+                now=float(now),
+            )
+        )
+
+    def clear(self) -> None:
+        self.entries = []
+
+    def replay(self, state: PopularityState) -> int:
+        """Apply every journaled mutation to ``state`` in commit order.
+
+        Returns the number of lifecycle days replayed (the caller advances
+        its day clock by that much).  Stochastic commit entries rebuild a
+        generator from the captured bit-generator state, so the binomial
+        draws match the original commit exactly.
+        """
+        days = 0
+        for entry in self.entries:
+            if entry.kind == "commit":
+                rng = None
+                if entry.rng_state is not None:
+                    rng = np.random.default_rng()
+                    rng.bit_generator.state = entry.rng_state
+                state.apply_visits_at(entry.indices, entry.visits, rng=rng)
+            elif entry.kind == "bump":
+                state.bump_version()
+            elif entry.kind == "day":
+                replaced = state.pool.replace_pages(entry.indices, entry.now)
+                state.note_replaced(replaced)
+                days += 1
+            else:  # pragma: no cover - schema guard
+                raise ValueError("unknown journal entry kind %r" % entry.kind)
+        return days
+
+    # ------------------------------------------------------- serialization
+
+    def to_jsonl(self, path: str) -> None:
+        """Persist the journal as JSON lines (one entry per line)."""
+        with open(path, "w") as handle:
+            for entry in self.entries:
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "FeedbackJournal":
+        entries = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(JournalEntry.from_dict(json.loads(line)))
+        return cls(entries=entries)
+
+
+__all__ = [
+    "FeedbackJournal",
+    "JournalEntry",
+    "ShardCheckpoint",
+    "state_digest",
+]

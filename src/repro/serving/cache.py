@@ -162,6 +162,17 @@ class ResultPageCache:
         self._entries.clear()
         self.stats.invalidations += 1
 
+    def poison_versions(self, version: int) -> None:
+        """Overwrite every entry's version stamp (fault injection only).
+
+        Stamping entries with a far-past version makes the next lookup of
+        each key fail validate-on-read and recompute — the corruption the
+        chaos harness uses to prove the OCC read path contains a poisoned
+        cache instead of serving garbage indefinitely.
+        """
+        for entry in self._entries.values():
+            entry.version = int(version)
+
 
 def page_key(community_tag: Hashable, k: int, policy_tag: Hashable) -> Tuple:
     """Canonical cache key: which community, page length, and policy."""

@@ -34,6 +34,7 @@ from repro.core.kernels.numpy_backend import merge_repair
 from repro.core.policy import RECOMMENDED_POLICY, RankPromotionPolicy
 from repro.core.rankers import RandomizedPromotionRanker
 from repro.core.rankers_context import RankingContext
+from repro.robustness.faults import NULL_INJECTOR
 from repro.serving.cache import ResultPageCache, page_key
 from repro.serving.state import PopularityState
 from repro.telemetry.recorder import NULL_RECORDER
@@ -76,6 +77,11 @@ class ServingEngine:
         self.cache = cache
         self.name = name
         self.rng = as_rng(seed)
+        if state is not None and state.n != community.n_pages:
+            raise ValueError(
+                "state has %d pages but the community expects %d"
+                % (state.n, community.n_pages)
+            )
         self.state = (
             state
             if state is not None
@@ -85,6 +91,7 @@ class ServingEngine:
         self.full_sorts = 0
         self.repairs = 0
         self.telemetry = NULL_RECORDER
+        self.faults = NULL_INJECTOR
         self._policy_tag = policy.describe()
         # Maintained descending-popularity order.  Ties are broken by a
         # random per-page key drawn once per engine (refreshed on full
@@ -117,6 +124,8 @@ class ServingEngine:
             # built: a bad k must never produce a lookup/miss accounting
             # entry for a page that can never be stored.
             raise ValueError("k must be >= 1, got %d" % k)
+        if self.faults.enabled:
+            self.faults.before_engine_serve(self)
         if self.cache is None:
             return self.top_k(k, rng)
         key = page_key(self.name, min(int(k), self.state.n), self._policy_tag)

@@ -10,11 +10,26 @@ popularity state, result cache and random stream.  The router:
 * *buffers* visit feedback per shard and applies it in batches — one
   O(batch) state update and one order repair per flush instead of one per
   event, which is what keeps the incremental path cheap under heavy
-  feedback traffic.
+  feedback traffic;
+* *commits* each flushed batch through the OCC write path: the commit
+  carries the popularity-store version the writer read, a conflicting
+  commit is rejected and retried with bounded jittered backoff, and a
+  batch that exhausts its attempts is dead-lettered
+  (:mod:`repro.robustness.occ`);
+* optionally runs under a :class:`~repro.robustness.faults.FaultInjector`
+  with per-shard :class:`~repro.robustness.supervisor.ShardSupervisor`\\ s:
+  downed shards serve last-known-good pages within an escalating staleness
+  budget (load-shedding beyond it), crashed shards are rebuilt from
+  checkpoint + journal replay, and buffered feedback for an unavailable
+  shard is held back rather than lost (backpressure).  Without
+  ``enable_robustness`` the hot paths hold the no-op
+  :data:`~repro.robustness.faults.NULL_INJECTOR` and pay one attribute
+  load and a predictable branch per query.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
 from typing import Dict, Hashable, List, Optional, Sequence
 
@@ -22,10 +37,22 @@ import numpy as np
 
 from repro.community.config import CommunityConfig
 from repro.core.policy import RECOMMENDED_POLICY, RankPromotionPolicy
+from repro.robustness.faults import (
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultPlan,
+    LoadShedError,
+)
+from repro.robustness.occ import (
+    DeadLetter,
+    DeadLetterQueue,
+    FlushReport,
+    RetryPolicy,
+)
 from repro.serving.cache import CacheStats, ResultPageCache
 from repro.serving.engine import ServingEngine
 from repro.telemetry.recorder import NULL_RECORDER
-from repro.utils.rng import RandomSource, spawn_rngs
+from repro.utils.rng import RandomSource, as_rng, spawn_rngs
 
 
 def stable_shard_hash(query_id: Hashable) -> int:
@@ -52,6 +79,21 @@ class ShardedRouter:
         self.feedback_buffered = 0
         self.flushes = 0
         self.telemetry = NULL_RECORDER
+        # Robustness machinery (inactive until enable_robustness): the
+        # fault injector, one supervisor per shard, and the OCC write-path
+        # state.  The retry policy and dead-letter queue are live even
+        # without fault injection — any conflicting commit goes through
+        # the same retry/dead-letter path.
+        self.faults = NULL_INJECTOR
+        self.supervisors = None
+        self.retry_policy = RetryPolicy()
+        self.dead_letters = DeadLetterQueue()
+        self.occ_conflicts = 0
+        self.occ_retries = 0
+        self.backoff_seconds = 0.0
+        self._retry_rng = as_rng(None)
+        self._sleep = time.sleep
+        self._fault_queries = 0
 
     @classmethod
     def from_community(
@@ -78,6 +120,17 @@ class ShardedRouter:
             raise ValueError(
                 "n_shards (%d) cannot exceed n_pages (%d)"
                 % (n_shards, community.n_pages)
+            )
+        # Validate the serving knobs here, before any engine is built, so a
+        # bad configuration fails at construction with the router's name on
+        # it instead of deep inside the first shard's cache.
+        if cache_capacity is not None and cache_capacity < 1:
+            raise ValueError(
+                "cache_capacity must be >= 1 or None, got %d" % cache_capacity
+            )
+        if staleness_budget < 0:
+            raise ValueError(
+                "staleness_budget must be non-negative, got %d" % staleness_budget
             )
         base, remainder = divmod(community.n_pages, n_shards)
         rngs = spawn_rngs(seed, n_shards)
@@ -131,17 +184,106 @@ class ShardedRouter:
             if engine.cache is not None:
                 engine.cache.telemetry = recorder
 
+    def enable_robustness(
+        self,
+        plan: Optional[FaultPlan] = None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        degradation=None,
+        seed: RandomSource = None,
+        sleep=None,
+    ) -> FaultInjector:
+        """Arm the robustness layer: supervisors, OCC knobs, fault injection.
+
+        Builds one :class:`~repro.robustness.supervisor.ShardSupervisor`
+        per shard (checkpointing the current state as the recovery base),
+        installs a :class:`~repro.robustness.faults.FaultInjector` for
+        ``plan`` (an empty plan just turns supervision/journaling on), and
+        seeds the retry-backoff jitter stream.  ``sleep`` overrides the
+        real ``time.sleep`` used between retries — benches pass a no-op to
+        measure scheduled backoff without actually waiting.
+        """
+        from repro.robustness.supervisor import DegradationPolicy, ShardSupervisor
+
+        if degradation is None:
+            degradation = DegradationPolicy()
+        if retry is not None:
+            self.retry_policy = retry
+        self.supervisors = [
+            ShardSupervisor(shard, engine, degradation)
+            for shard, engine in enumerate(self.engines)
+        ]
+        injector = FaultInjector(plan if plan is not None else FaultPlan(), self)
+        self.faults = injector
+        for engine in self.engines:
+            engine.faults = injector
+        self._retry_rng = as_rng(seed)
+        if sleep is not None:
+            self._sleep = sleep
+        self._fault_queries = 0
+        return injector
+
+    def disable_robustness(self) -> None:
+        """Disarm fault injection and supervision; hot paths go no-op again."""
+        self.faults = NULL_INJECTOR
+        for engine in self.engines:
+            engine.faults = NULL_INJECTOR
+        self.supervisors = None
+        self._sleep = time.sleep
+
     def serve(self, query_id: Hashable, k: int) -> np.ndarray:
-        """Serve the top-``k`` result page for one query."""
+        """Serve the top-``k`` result page for one query.
+
+        Raises :class:`~repro.robustness.faults.LoadShedError` if fault
+        injection has the query's shard down and the last-known-good page
+        is staler than the escalating degradation budget allows.
+        """
         shard = self.shard_for(query_id)
         self.queries_routed += 1
         self.queries_per_shard[shard] += 1
+        if self.faults.enabled:
+            return self._serve_supervised(shard, k)
         page = self.engines[shard].serve(k)
         # Recorded after the engine call so the cache outcome of this very
         # query is inside the window row a boundary tick emits.
         if self.telemetry.enabled:
             self.telemetry.record_query(shard)
         return page
+
+    def _serve_supervised(self, shard: int, k: int) -> np.ndarray:
+        """Fault-aware serve: fire due events, degrade/recover as needed."""
+        faults = self.faults
+        self._fault_queries += 1
+        query_index = self._fault_queries
+        faults.on_query(query_index)
+        status = faults.poll(shard, query_index)
+        supervisor = self.supervisors[shard]
+        if status == "recover":
+            self._recover_shard(shard)
+            status = "up"
+        if status == "down":
+            pending = len(self._pending_indices[shard])
+            try:
+                page, staleness = supervisor.serve_degraded(k, pending)
+            except LoadShedError:
+                if self.telemetry.enabled:
+                    self.telemetry.record_load_shed()
+                raise
+            if self.telemetry.enabled:
+                self.telemetry.record_degraded_serve(staleness)
+                self.telemetry.record_query(shard)
+            return page
+        page = self.engines[shard].serve(k)
+        supervisor.note_served(k, page)
+        if self.telemetry.enabled:
+            self.telemetry.record_query(shard)
+        return page
+
+    def _recover_shard(self, shard: int) -> None:
+        elapsed = self.supervisors[shard].recover()
+        self.faults.mark_recovered(shard)
+        if self.telemetry.enabled:
+            self.telemetry.record_recovery(shard, elapsed)
 
     def submit_feedback(
         self, query_id: Hashable, page_index: int, visits: float = 1.0
@@ -153,40 +295,177 @@ class ShardedRouter:
         self._pending_visits[shard].append(float(visits))
         self.feedback_buffered += 1
         if self.telemetry.enabled:
-            self.telemetry.record_feedback(
-                float(self.engines[shard].state.pool.quality[page_index])
-            )
+            state = self.engines[shard].state
+            # A crashed shard has no state to read the clicked quality
+            # from; the event is still buffered and commits after recovery.
+            if state is not None:
+                self.telemetry.record_feedback(
+                    float(state.pool.quality[page_index])
+                )
 
-    def flush_feedback(self) -> int:
-        """Apply all buffered feedback, one batched update per shard.
+    def flush_feedback(self) -> FlushReport:
+        """Commit all buffered feedback, one OCC batch commit per shard.
 
-        Returns the number of events applied.  Each shard's popularity
-        state advances by at most one version per flush, which is what the
-        cache staleness budget counts against.
+        Returns a :class:`~repro.robustness.occ.FlushReport` describing the
+        outcome (committed events, conflicts, retries, dead letters; truthy
+        iff anything committed — legacy ``if router.flush_feedback():``
+        call sites keep working).  Each shard's popularity state advances
+        by at most one version per clean flush, which is what the cache
+        staleness budget counts against.  Shards that fault injection has
+        down are skipped — their buffers keep growing (backpressure) until
+        the shard recovers.
         """
-        applied = 0
+        report = FlushReport()
+        faults = self.faults
         for shard, engine in enumerate(self.engines):
-            indices = self._pending_indices[shard]
-            if not indices:
-                continue
-            engine.apply_feedback(
+            if faults.enabled:
+                if faults.is_down(shard, self._fault_queries):
+                    continue
+                if faults.needs_recovery(shard):
+                    self._recover_shard(shard)
+            self._flush_shard(shard, engine, report)
+        if report.committed:
+            self.flushes += 1
+            if self.telemetry.enabled:
+                self.telemetry.record_flush(report.committed)
+        return report
+
+    def _flush_shard(self, shard: int, engine: ServingEngine, report: FlushReport) -> None:
+        """Commit one shard's buffered batch (plus any reorder-deferred one)."""
+        faults = self.faults
+        held = faults.take_deferred(shard) if faults.enabled else None
+        batches = []
+        indices = self._pending_indices[shard]
+        if indices:
+            batch = (
                 np.asarray(indices, dtype=int),
                 np.asarray(self._pending_visits[shard]),
             )
-            applied += len(indices)
             self._pending_indices[shard] = []
             self._pending_visits[shard] = []
-        if applied:
-            self.flushes += 1
+            fault = faults.take_batch_fault(shard) if faults.enabled else None
+            if fault == "drop":
+                report.dropped_events += batch[0].size
+            elif fault == "duplicate":
+                batches.extend((batch, batch))
+            elif fault == "reorder":
+                # Held back until the next flush; a batch deferred earlier
+                # (``held``) still commits below, after the current one.
+                faults.defer_batch(shard, batch[0], batch[1])
+            else:
+                batches.append(batch)
+        if held is not None:
+            batches.append(held)
+        for batch_indices, batch_visits in batches:
+            report.batches += 1
+            report.committed += self._commit_shard(
+                shard, engine, batch_indices, batch_visits, report
+            )
+
+    def _commit_shard(
+        self,
+        shard: int,
+        engine: ServingEngine,
+        indices: np.ndarray,
+        visits: np.ndarray,
+        report: FlushReport,
+    ) -> int:
+        """OCC commit loop for one batch: read version, commit, retry, park.
+
+        Returns the number of events committed (0 if the batch was
+        dead-lettered).  Conflicts come from the fault injector's scripted
+        concurrent writer, which bumps the store version between our
+        version read and the commit — exactly the window a real concurrent
+        writer would hit.
+        """
+        supervisor = self.supervisors[shard] if self.supervisors is not None else None
+        policy = self.retry_policy
+        faults = self.faults
+        conflicts = 0
+        while True:
+            expected = engine.state.version
+            injected = faults.enabled and faults.take_conflict(shard)
+            if injected:
+                # The scripted concurrent writer commits first.
+                engine.state.bump_version()
+                if supervisor is not None:
+                    supervisor.journal_bump()
+            else:
+                rng_state = (
+                    supervisor.capture_rng_state() if supervisor is not None else None
+                )
+                if engine.state.commit_visits_at(
+                    indices, visits, expected, rng=engine.rng
+                ):
+                    if supervisor is not None:
+                        supervisor.journal_commit(indices, visits, rng_state)
+                    return int(indices.size)
+            conflicts += 1
+            report.conflicts += 1
+            self.occ_conflicts += 1
             if self.telemetry.enabled:
-                self.telemetry.record_flush(applied)
-        return applied
+                self.telemetry.record_commit_conflict()
+            if conflicts >= policy.max_attempts:
+                self.dead_letters.park(
+                    DeadLetter(
+                        shard=shard,
+                        indices=indices,
+                        visits=visits,
+                        attempts=conflicts,
+                    )
+                )
+                report.dead_letter_batches += 1
+                report.dead_letter_events += int(indices.size)
+                if self.telemetry.enabled:
+                    self.telemetry.record_dead_letter(int(indices.size))
+                return 0
+            report.retries += 1
+            self.occ_retries += 1
+            backoff = policy.backoff_seconds(conflicts, self._retry_rng)
+            report.backoff_seconds += backoff
+            self.backoff_seconds += backoff
+            if self.telemetry.enabled:
+                self.telemetry.record_commit_retry()
+            if backoff > 0.0:
+                self._sleep(backoff)
+
+    def redeliver_dead_letters(self) -> FlushReport:
+        """Re-commit every parked dead-letter batch through the OCC loop.
+
+        The operator's recovery hatch once the conflict storm has passed;
+        batches that conflict out again are parked again.
+        """
+        report = FlushReport()
+        for letter in self.dead_letters.drain():
+            report.batches += 1
+            report.committed += self._commit_shard(
+                letter.shard,
+                self.engines[letter.shard],
+                letter.indices,
+                letter.visits,
+                report,
+            )
+        return report
 
     def advance_day(self) -> None:
-        """Run one lifecycle day on every shard (buffered feedback first)."""
+        """Run one lifecycle day on every shard (buffered feedback first).
+
+        Under fault injection, downed shards skip the lifecycle step — a
+        dead process ages no pages — and supervised shards journal each
+        day's replacement effect so crash recovery replays it exactly.
+        """
         self.flush_feedback()
-        for engine in self.engines:
-            engine.advance_day()
+        faults = self.faults
+        for shard, engine in enumerate(self.engines):
+            if faults.enabled and (
+                faults.is_down(shard, self._fault_queries)
+                or faults.needs_recovery(shard)
+            ):
+                continue
+            day_before = float(engine.day)
+            replaced = engine.advance_day()
+            if self.supervisors is not None:
+                self.supervisors[shard].journal_day(replaced, day_before)
 
     def cache_stats(self) -> CacheStats:
         """Aggregate cache counters across shards."""
@@ -210,9 +489,27 @@ class ShardedRouter:
             "queries_routed": float(self.queries_routed),
             "feedback_buffered": float(self.feedback_buffered),
             "flushes": float(self.flushes),
+            "occ_conflicts": float(self.occ_conflicts),
+            "occ_retries": float(self.occ_retries),
+            "occ_backoff_seconds": float(self.backoff_seconds),
+            "dead_letter_batches": float(self.dead_letters.total_batches),
+            "dead_letter_events": float(self.dead_letters.total_events),
         }
         for shard, count in enumerate(self.queries_per_shard):
             report["queries_shard_%d" % shard] = float(count)
+        if self.supervisors is not None:
+            totals: Dict[str, float] = {}
+            for supervisor in self.supervisors:
+                for name, value in supervisor.counters().items():
+                    totals[name] = totals.get(name, 0.0) + value
+            # All-shards bit-identity is the AND, not the sum.
+            totals["recovered_bit_identical"] = min(
+                supervisor.counters()["recovered_bit_identical"]
+                for supervisor in self.supervisors
+            )
+            report.update(totals)
+        if self.faults.enabled:
+            report.update(self.faults.counters())
         report.update(self.cache_stats().as_dict())
         return report
 

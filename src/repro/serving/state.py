@@ -132,6 +132,37 @@ class PopularityState:
         )
         self._mark_changed(touched)
 
+    def commit_visits_at(
+        self,
+        indices: np.ndarray,
+        visits: np.ndarray,
+        expected_version: int,
+        rng: RandomSource = None,
+    ) -> bool:
+        """Conflict-checked feedback commit (the OCC write pattern).
+
+        The writer presents the version it read its snapshot at; if the
+        state has advanced since (a concurrent writer committed first),
+        the commit is rejected *without touching any state* and the caller
+        re-reads and retries.  This is the write-side complement of the
+        cache's validate-on-read: Laux & Laiho's version-check UPDATE,
+        where the WHERE clause matching zero rows signals the conflict.
+        """
+        if self.version != int(expected_version):
+            return False
+        self.apply_visits_at(indices, visits, rng=rng)
+        return True
+
+    def bump_version(self) -> None:
+        """Advance the version without changing page state.
+
+        Models a concurrent writer's committed-elsewhere mutation (used by
+        the fault injector to manufacture OCC conflicts, and by journal
+        replay to reproduce them): readers and writers holding the old
+        version observe a conflict, but popularity itself is untouched.
+        """
+        self.version += 1
+
     def apply_visit_feedback(
         self, monitored_visits: np.ndarray, rng: RandomSource = None
     ) -> None:

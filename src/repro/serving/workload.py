@@ -17,6 +17,7 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
+from repro.robustness.occ import FlushReport
 from repro.serving.router import ShardedRouter
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import check_positive_int, check_probability
@@ -225,7 +226,9 @@ def run_stream(
     the "user" clicks one result, with the clicked rank drawn from the
     attention model over the ``k`` visible positions, and the visit is
     buffered as feedback.  Buffers are flushed every ``flush_every``
-    queries and once at the end.
+    queries and once at the end; the merged
+    :class:`~repro.robustness.occ.FlushReport` across all flushes lands in
+    ``stats.extra`` under ``flush_*`` keys.
     """
     if n_queries < 0:
         raise ValueError("n_queries must be non-negative, got %d" % n_queries)
@@ -242,6 +245,7 @@ def run_stream(
     rng = workload.rng
 
     stats = ServingStats()
+    flush_report = FlushReport()
     started = time.perf_counter()
     for served, query_id in enumerate(workload.stream(n_queries), start=1):
         page = router.serve(query_id, config.k)
@@ -251,11 +255,12 @@ def run_stream(
             router.submit_feedback(query_id, int(page[position]))
             stats.feedback_events += 1
         if served % config.flush_every == 0:
-            router.flush_feedback()
-    router.flush_feedback()
+            flush_report.merge(router.flush_feedback())
+    flush_report.merge(router.flush_feedback())
     stats.elapsed_seconds = time.perf_counter() - started
     stats.queries = n_queries
     stats.extra.update(router.stats())
+    stats.extra.update(flush_report.as_dict())
     return stats
 
 

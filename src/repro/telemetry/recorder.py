@@ -40,6 +40,13 @@ BASE_FIELDS = (
     "flush_size_sum",
     "repairs",
     "full_sorts",
+    # OCC write path + degradation (PR 7); appended so the hot-path
+    # cumulative indices of the earlier fields stay frozen.
+    "occ_conflicts",
+    "occ_retries",
+    "occ_dead_letters",
+    "degraded_serves",
+    "load_sheds",
 )
 
 DEFAULT_WINDOW = 1024
@@ -83,6 +90,24 @@ class NullRecorder:
         pass
 
     def record_full_sort(self) -> None:
+        pass
+
+    def record_commit_conflict(self) -> None:
+        pass
+
+    def record_commit_retry(self) -> None:
+        pass
+
+    def record_dead_letter(self, events: int) -> None:
+        pass
+
+    def record_degraded_serve(self, staleness: int) -> None:
+        pass
+
+    def record_load_shed(self) -> None:
+        pass
+
+    def record_recovery(self, shard: int, seconds: float) -> None:
         pass
 
     def record_day_step(self, day: int, seconds: float) -> None:
@@ -166,6 +191,7 @@ class TelemetryRecorder:
         elif out is not None:
             self._out = out
         self._kernel_spans_installed = False
+        self._closed = False
 
     # ------------------------------------------------------------ hot path
 
@@ -225,6 +251,36 @@ class TelemetryRecorder:
     def record_full_sort(self) -> None:
         """One full re-sort of a serving engine's maintained order."""
         self._cum[10] += 1.0
+
+    def record_commit_conflict(self) -> None:
+        """One OCC feedback commit rejected by the version check."""
+        self._cum[11] += 1.0
+
+    def record_commit_retry(self) -> None:
+        """One backed-off retry of a conflicted feedback commit."""
+        self._cum[12] += 1.0
+
+    def record_dead_letter(self, events: int) -> None:
+        """One batch of ``events`` feedback events dead-lettered."""
+        self._cum[13] += events
+
+    def record_degraded_serve(self, staleness: int) -> None:
+        """One stale last-known-good page served while a shard was down."""
+        self._cum[14] += 1.0
+        self._staleness_seen = seen = self._staleness_seen + 1
+        if not seen % self.quantile_sample:
+            self.staleness_quantiles.observe(staleness)
+
+    def record_load_shed(self) -> None:
+        """One query shed: shard down and staleness budget exhausted."""
+        self._cum[15] += 1.0
+
+    def record_recovery(self, shard: int, seconds: float) -> None:
+        """One crashed shard rebuilt from checkpoint + journal replay."""
+        self.spans.observe("shard_recovery", seconds)
+        self.emit_row(
+            {"kind": "recovery", "shard": float(shard), "seconds": seconds}
+        )
 
     # ------------------------------------------------- simulation / spans
 
@@ -359,16 +415,29 @@ class TelemetryRecorder:
         return report
 
     def close(self) -> None:
-        """Emit the final partial window, close the JSONL file, unhook spans."""
+        """Emit the final partial window, close the JSONL file, unhook spans.
+
+        Idempotent, and the exit arm of the context-manager protocol — a
+        run that dies mid-stream (a load-shed escaping a chaos replay, a
+        crashed bench) still flushes its pending window row and leaves a
+        complete JSONL trace behind.  Caller-owned handles are flushed but
+        not closed.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.flush_window()
         if self._kernel_spans_installed:
             from repro.core.kernels import set_kernel_instrumentation
 
             set_kernel_instrumentation(None)
             self._kernel_spans_installed = False
-        if self._out is not None and self._owns_out:
-            self._out.close()
-            self._out = None
+        if self._out is not None:
+            if self._owns_out:
+                self._out.close()
+                self._out = None
+            else:
+                self._out.flush()
 
     def __enter__(self) -> "TelemetryRecorder":
         return self

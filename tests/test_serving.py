@@ -330,11 +330,26 @@ def test_router_feedback_batched_until_flush(serving_community):
     router.submit_feedback("hot-query", int(page[0]))
     router.submit_feedback("hot-query", int(page[1]))
     assert [e.state.version for e in router.engines] == before  # buffered only
-    applied = router.flush_feedback()
-    assert applied == 2
+    report = router.flush_feedback()
+    assert report  # truthy: something committed
+    assert report.committed == 2
+    assert report.batches == 1
+    assert report.conflicts == report.retries == report.dead_letter_events == 0
     shard = router.shard_for("hot-query")
     # One batch -> exactly one version bump on the target shard.
     assert router.engines[shard].state.version == before[shard] + 1
+
+
+def test_router_from_community_validates_serving_knobs(serving_community):
+    """Bad cache/staleness knobs fail at construction, not mid-serve."""
+    with pytest.raises(ValueError):
+        ShardedRouter.from_community(
+            serving_community, RECOMMENDED_POLICY, cache_capacity=0
+        )
+    with pytest.raises(ValueError):
+        ShardedRouter.from_community(
+            serving_community, RECOMMENDED_POLICY, staleness_budget=-1
+        )
 
 
 def test_router_advance_day_flushes_and_ages(serving_community):
