@@ -78,10 +78,48 @@ CHAOS_INFO_KEYS = (
     "flush_dropped_events",
 )
 
+#: Pool metrics copied into ``extra_info`` for the multi-tenant serving
+#: pool benchmark: the machine-independent scaling ratio plus the OCC
+#: invariant bits (organic conflicts, zero lost visits, backpressure) and
+#: the accounting that explains them.
+POOL_INFO_KEYS = (
+    "kernel_backend",
+    "tenants",
+    "workers",
+    "clients",
+    "n_pages",
+    "n_shards",
+    "queries",
+    "queries_per_second",
+    "qps_single_worker",
+    "pool_scaling_ratio",
+    "pool_organic_conflict",
+    "pool_zero_lost",
+    "pool_backpressure_engaged",
+    "lost_events",
+    "organic_conflicts",
+    "client_sent_events",
+    "client_committed_events",
+    "client_conflicts",
+    "client_dead_letter_events",
+    "worker_feedback_events",
+    "worker_committed_events",
+    "worker_dead_letter_events",
+    "shared_committed_events",
+    "shared_conflicts",
+    "backpressure_events",
+    "worker_restarts",
+)
+
 #: Dynamic ``extra_info`` key prefixes: per-shard throughput and the
 #: telemetry end-of-run snapshot (shard count and span names vary per run,
 #: so these are matched by prefix instead of being enumerated).
-SERVING_INFO_PREFIXES = ("qps_shard_", "queries_shard_", "telemetry_")
+SERVING_INFO_PREFIXES = (
+    "qps_shard_",
+    "queries_shard_",
+    "queries_tenant_",
+    "telemetry_",
+)
 
 
 @pytest.fixture(scope="session")

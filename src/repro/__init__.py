@@ -21,26 +21,32 @@ Quickstart::
                                                           mode="fluid")))
 
 Serving-path quickstart — answer a stream of queries online instead of
-re-ranking the whole community per simulated day::
+re-ranking the whole community per simulated day.  The serving tier is
+built from one frozen, JSON-round-trippable :class:`ServingConfig`::
 
     from repro import (
-        CommunityConfig, RankPromotionPolicy, ShardedRouter,
-        StreamingWorkload, WorkloadConfig, run_stream,
+        ServingConfig, StreamingWorkload, WorkloadConfig,
+        build_router, run_stream,
     )
 
-    community = CommunityConfig(n_pages=20_000, n_users=2_000)
-    policy = RankPromotionPolicy(rule="selective", k=1, r=0.1)
-    router = ShardedRouter.from_community(
-        community, policy, n_shards=4,
+    config = ServingConfig(
+        n_pages=20_000, n_shards=4,
         cache_capacity=64, staleness_budget=4, seed=0,
     )
+    router = build_router(config)
     workload = StreamingWorkload(WorkloadConfig(k=10, feedback_rate=0.2), seed=1)
     stats = run_stream(router, n_queries=10_000, workload=workload)
     print(stats.queries_per_second, stats.extra["cache_hit_rate"])
 
-Or benchmark it against the full-re-rank baseline from the terminal::
+(The historical ``ShardedRouter.from_community(...)`` classmethod remains
+as a thin shim over the same construction path.)  With
+``workers``/``tenants``/``clients`` set, ``build_pool(config)`` hosts many
+tenant communities behind a process-per-shard pool whose popularity
+arrays live in shared memory, so real concurrent writers race feedback
+commits through the OCC path.  Or from the terminal::
 
     python -m repro serve-bench --pages 200000 --queries 5000 --shards 8
+    python -m repro serve-bench --tenants 8 --clients 4 --workers 4
 """
 
 from repro.community import (
@@ -78,15 +84,21 @@ from repro.serving import (
     PopularityState,
     RecordedTrace,
     ResultPageCache,
+    ServingConfig,
     ServingEngine,
+    ServingPool,
     ServingStats,
     ServingSweep,
     ShardedRouter,
+    SharedPopularityState,
     StreamingWorkload,
     SweepResult,
     SweepVariant,
     WorkloadConfig,
+    build_pool,
+    build_router,
     record_trace,
+    run_pool_benchmark,
     run_serving_benchmark,
     run_stream,
     run_sweep,
@@ -95,7 +107,7 @@ from repro.serving import (
 )
 from repro.visits import MixedSurfingModel, PowerLawAttention
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CommunityConfig",
@@ -129,14 +141,20 @@ __all__ = [
     "popularity_trajectory",
     "compare_policies",
     "PopularityState",
+    "SharedPopularityState",
     "ServingEngine",
     "ResultPageCache",
     "ShardedRouter",
+    "ServingConfig",
+    "build_router",
+    "build_pool",
+    "ServingPool",
     "StreamingWorkload",
     "WorkloadConfig",
     "ServingStats",
     "run_stream",
     "run_serving_benchmark",
+    "run_pool_benchmark",
     "RecordedTrace",
     "record_trace",
     "ServingSweep",

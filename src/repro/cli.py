@@ -46,6 +46,104 @@ from repro.experiments.defaults import VALID_SCALES
 from repro.experiments.registry import get_experiment, list_experiments
 
 
+def add_serving_config_args(parser: argparse.ArgumentParser) -> None:
+    """Declare the shared serving-configuration flags in one place.
+
+    Every serving-tier experiment (``serve-bench``, ``chaos-bench``,
+    ``sweep-bench``, ``sweep-fig``) reads the same deployment knobs —
+    shards, cache, staleness, OCC retry, and the multi-tenant pool shape
+    (``--tenants/--clients/--workers``) — so they are declared once here
+    and folded into one :class:`~repro.serving.config.ServingConfig` by
+    :func:`serving_config_from_args`.
+    """
+    serving = parser.add_argument_group("serving configuration")
+    serving.add_argument(
+        "--pages", type=int, default=20_000, help="total pages across all shards"
+    )
+    serving.add_argument(
+        "--shards", type=int, default=4, help="number of community shards"
+    )
+    serving.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        help="result pages cached per shard; 0 disables caching",
+    )
+    serving.add_argument(
+        "--staleness-budget",
+        type=int,
+        default=4,
+        help="state versions a cached page may lag before invalidation",
+    )
+    serving.add_argument(
+        "--feedback-rate",
+        type=float,
+        default=0.2,
+        help="probability a served query feeds one visit back",
+    )
+    serving.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="OCC commit attempts per feedback batch before dead-lettering "
+        "(default: the RetryPolicy default of 4)",
+    )
+    serving.add_argument(
+        "--backoff-base", type=float, default=None,
+        help="base retry backoff in seconds (scheduled, not slept; "
+        "default 1e-4, doubling per retry up to the policy cap)",
+    )
+    serving.add_argument(
+        "--tenants", type=int, default=1,
+        help="tenant communities hosted behind the serving front door",
+    )
+    serving.add_argument(
+        "--clients", type=int, default=0,
+        help="concurrent OCC writer processes racing feedback commits "
+        "against the pool's shared-memory shards",
+    )
+    serving.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes: for serve-bench, pool workers hosting the "
+        "tenant shards (0/omitted = classic in-process router); for "
+        "sim-bench/sweep-bench/sweep-fig, replicate/variant sharding "
+        "width (omitted = auto-size from os.cpu_count())",
+    )
+    serving.add_argument(
+        "--inbox-capacity", type=int, default=8,
+        help="bounded work-queue depth per pool worker; a full inbox "
+        "counts a backpressure event and blocks the submitter",
+    )
+
+
+def serving_config_from_args(args: argparse.Namespace, **overrides):
+    """Fold the shared serving flags into one frozen ``ServingConfig``.
+
+    Keyword ``overrides`` win over the parsed flags (drivers use them for
+    experiment-specific fields like ``mode``).
+    """
+    from repro.serving.config import ServingConfig
+
+    values = dict(
+        n_pages=args.pages,
+        n_shards=args.shards,
+        cache_capacity=args.cache_size if args.cache_size > 0 else None,
+        staleness_budget=args.staleness_budget,
+        feedback_rate=args.feedback_rate,
+        seed=args.seed,
+        tenants=args.tenants,
+        workers=args.workers if args.workers is not None else 0,
+        clients=args.clients,
+        inbox_capacity=args.inbox_capacity,
+        telemetry_window=args.telemetry_window,
+        telemetry_out=args.telemetry_out,
+    )
+    if args.max_attempts is not None:
+        values["max_attempts"] = args.max_attempts
+    if args.backoff_base is not None:
+        values["backoff_base"] = args.backoff_base
+    values.update(overrides)
+    return ServingConfig(**values)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -78,35 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
         "falls back to numpy)",
     )
 
+    add_serving_config_args(parser)
+
     serving = parser.add_argument_group("serve-bench options")
-    serving.add_argument(
-        "--pages", type=int, default=20_000, help="total pages across all shards"
-    )
     serving.add_argument(
         "--queries", type=int, default=2_000, help="number of queries to stream"
     )
     serving.add_argument("--k", type=int, default=20, help="result-page length")
-    serving.add_argument(
-        "--shards", type=int, default=4, help="number of community shards"
-    )
-    serving.add_argument(
-        "--cache-size",
-        type=int,
-        default=64,
-        help="result pages cached per shard; 0 disables caching",
-    )
-    serving.add_argument(
-        "--staleness-budget",
-        type=int,
-        default=4,
-        help="state versions a cached page may lag before invalidation",
-    )
-    serving.add_argument(
-        "--feedback-rate",
-        type=float,
-        default=0.2,
-        help="probability a served query feeds one visit back",
-    )
 
     chaos = parser.add_argument_group("chaos-bench options")
     chaos.add_argument(
@@ -119,16 +195,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-fault-plan", default=None,
         help="write the fault plan actually used to this JSON file "
         "(pin-and-replay workflow)",
-    )
-    chaos.add_argument(
-        "--max-attempts", type=int, default=None,
-        help="OCC commit attempts per feedback batch before dead-lettering "
-        "(default: the RetryPolicy default of 4)",
-    )
-    chaos.add_argument(
-        "--backoff-base", type=float, default=None,
-        help="base retry backoff in seconds (scheduled, not slept; "
-        "default 1e-4, doubling per retry up to the policy cap)",
     )
     chaos.add_argument(
         "--chaos-mode", choices=("fluid", "stochastic"), default="fluid",
@@ -165,11 +231,6 @@ def build_parser() -> argparse.ArgumentParser:
     simulation.add_argument(
         "--policy", choices=("selective", "uniform", "none"), default="selective",
         help="rank promotion policy to simulate",
-    )
-    simulation.add_argument(
-        "--workers", type=int, default=None,
-        help="worker processes for replicate/variant sharding; default "
-        "auto-sizes from os.cpu_count()",
     )
     simulation.add_argument(
         "--adaptive-rank", action="store_true",
@@ -254,11 +315,55 @@ def _apply_backend(args: argparse.Namespace) -> None:
 
 
 def run_serve_bench(args: argparse.Namespace) -> int:
-    """Run the serving benchmark and print its metrics table."""
+    """Run the serving benchmark and print its metrics table.
+
+    With ``--workers W`` (W >= 1) this drives the multi-tenant
+    process-per-shard pool (:func:`repro.serving.pool.run_pool_benchmark`)
+    instead of the in-process router: ``--tenants`` communities behind
+    ``W`` worker processes, with ``--clients`` extra OCC writer processes
+    racing feedback commits against the shared-memory shards.
+    """
     from repro.serving.bench import run_serving_benchmark
     from repro.utils.tables import Table
 
     _apply_backend(args)
+    if args.workers is not None and args.workers > 0:
+        from repro.serving.pool import run_pool_benchmark
+
+        config = serving_config_from_args(args)
+        recorder = None
+        if args.telemetry_window is not None or args.telemetry_out is not None:
+            from repro.telemetry import DEFAULT_WINDOW, TelemetryRecorder
+
+            recorder = TelemetryRecorder(
+                n_shards=config.n_shards,
+                window=args.telemetry_window or DEFAULT_WINDOW,
+                out=args.telemetry_out,
+                label="pool",
+            )
+        try:
+            report = run_pool_benchmark(
+                n_queries=args.queries, config=config, telemetry=recorder
+            )
+        finally:
+            if recorder is not None:
+                recorder.close()
+        table = Table(
+            ["metric", "value"],
+            title="serve-bench — multi-tenant pool "
+            "(tenants=%d, workers=%d, clients=%d, n=%d x %d shards)"
+            % (
+                config.tenants,
+                config.workers,
+                config.clients,
+                config.n_pages,
+                config.n_shards,
+            ),
+        )
+        for key in sorted(report):
+            table.add_row(key, report[key])
+        print(table.render())
+        return 0
     report = run_serving_benchmark(
         n_pages=args.pages,
         n_queries=args.queries,

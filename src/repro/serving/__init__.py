@@ -11,9 +11,16 @@ simulated day, this package answers a *stream of queries*:
   optimistic validate-on-read invalidation;
 * :class:`ShardedRouter` — hashes queries across community shards and
   batches feedback application;
+* :class:`ServingConfig` / :func:`build_router` / :func:`build_pool` —
+  the one frozen, JSON-round-trippable construction surface for the
+  whole serving tier;
+* :class:`ServingPool` — multi-tenant process-per-shard pool over
+  shared-memory popularity state
+  (:class:`SharedPopularityState`), with real concurrent OCC writers;
 * :class:`StreamingWorkload` / :func:`run_stream` — Zipf-skewed query
   traffic with click feedback for end-to-end driving;
-* :func:`run_serving_benchmark` — the ``serve-bench`` driver.
+* :func:`run_serving_benchmark` / :func:`run_pool_benchmark` — the
+  ``serve-bench`` drivers (in-process and pool modes).
 
 The exact offline semantics stay reachable through
 :func:`repro.simulation.replay.replay_day`, which replays a simulator day
@@ -21,9 +28,20 @@ through an engine with bit-identical results.
 """
 
 from repro.serving.cache import CacheStats, ResultPageCache, page_key
+from repro.serving.config import ServingConfig, build_pool, build_router
 from repro.serving.engine import ServingEngine
-from repro.serving.router import ShardedRouter, stable_shard_hash
-from repro.serving.state import PopularityState
+from repro.serving.router import (
+    RouterRobustnessState,
+    ShardedRouter,
+    stable_shard_hash,
+)
+from repro.serving.state import (
+    PopularityState,
+    SharedPopularityState,
+    SharedShardHandle,
+    shared_memory_available,
+)
+from repro.serving.tenancy import TenantSpec, plan_tenancy
 from repro.serving.workload import (
     ServingStats,
     StreamingWorkload,
@@ -32,6 +50,7 @@ from repro.serving.workload import (
 )
 from repro.serving.workload import RecordedTrace, record_trace
 from repro.serving.bench import run_serving_benchmark
+from repro.serving.pool import ServingPool, run_pool_benchmark
 from repro.serving.sweep import (
     ServingSweep,
     SweepResult,
@@ -44,12 +63,23 @@ from repro.serving.sweep import (
 
 __all__ = [
     "PopularityState",
+    "SharedPopularityState",
+    "SharedShardHandle",
+    "shared_memory_available",
     "ServingEngine",
     "ResultPageCache",
     "CacheStats",
     "page_key",
     "ShardedRouter",
+    "RouterRobustnessState",
     "stable_shard_hash",
+    "ServingConfig",
+    "build_router",
+    "build_pool",
+    "ServingPool",
+    "run_pool_benchmark",
+    "TenantSpec",
+    "plan_tenancy",
     "StreamingWorkload",
     "WorkloadConfig",
     "RecordedTrace",

@@ -49,10 +49,10 @@ from repro.robustness.occ import (
     FlushReport,
     RetryPolicy,
 )
-from repro.serving.cache import CacheStats, ResultPageCache
+from repro.serving.cache import CacheStats
 from repro.serving.engine import ServingEngine
 from repro.telemetry.recorder import NULL_RECORDER
-from repro.utils.rng import RandomSource, as_rng, spawn_rngs
+from repro.utils.rng import RandomSource, as_rng
 
 
 def stable_shard_hash(query_id: Hashable) -> int:
@@ -63,6 +63,55 @@ def stable_shard_hash(query_id: Hashable) -> int:
     it every downstream random stream) reproducible.
     """
     return zlib.crc32(repr(query_id).encode("utf-8"))
+
+
+class RouterRobustnessState:
+    """All mutable OCC/robustness state of one router, created in one place.
+
+    Every router — the single-process front door and each serving-pool
+    worker's internal router alike — gets exactly this object from
+    ``ShardedRouter.__init__``, so the write-path initialization cannot
+    drift between construction sites.  The retry policy and dead-letter
+    queue are live even without fault injection: any conflicting commit
+    (scripted *or* a real concurrent writer racing on shared state) goes
+    through the same retry/dead-letter path.
+    """
+
+    __slots__ = (
+        "supervisors",
+        "retry_policy",
+        "dead_letters",
+        "occ_conflicts",
+        "occ_retries",
+        "backoff_seconds",
+        "retry_rng",
+        "sleep",
+        "fault_queries",
+    )
+
+    def __init__(self) -> None:
+        self.supervisors = None
+        self.retry_policy = RetryPolicy()
+        self.dead_letters = DeadLetterQueue()
+        self.occ_conflicts = 0
+        self.occ_retries = 0
+        self.backoff_seconds = 0.0
+        self.retry_rng = as_rng(None)
+        self.sleep = time.sleep
+        self.fault_queries = 0
+
+    def arm(self, retry=None, seed: RandomSource = None, sleep=None) -> None:
+        """Apply the ``enable_robustness`` knobs (None keeps the default)."""
+        if retry is not None:
+            self.retry_policy = retry
+        self.retry_rng = as_rng(seed)
+        if sleep is not None:
+            self.sleep = sleep
+        self.fault_queries = 0
+
+    def disarm(self) -> None:
+        self.supervisors = None
+        self.sleep = time.sleep
 
 
 class ShardedRouter:
@@ -78,22 +127,95 @@ class ShardedRouter:
         self.queries_per_shard = [0] * len(self.engines)
         self.feedback_buffered = 0
         self.flushes = 0
+        # ``telemetry`` and ``faults`` are the two per-query hot-path
+        # references (one attribute load + predictable branch each); they
+        # stay plain attributes.  Everything else the robustness layer
+        # mutates lives in one RouterRobustnessState.
         self.telemetry = NULL_RECORDER
-        # Robustness machinery (inactive until enable_robustness): the
-        # fault injector, one supervisor per shard, and the OCC write-path
-        # state.  The retry policy and dead-letter queue are live even
-        # without fault injection — any conflicting commit goes through
-        # the same retry/dead-letter path.
         self.faults = NULL_INJECTOR
-        self.supervisors = None
-        self.retry_policy = RetryPolicy()
-        self.dead_letters = DeadLetterQueue()
-        self.occ_conflicts = 0
-        self.occ_retries = 0
-        self.backoff_seconds = 0.0
-        self._retry_rng = as_rng(None)
-        self._sleep = time.sleep
-        self._fault_queries = 0
+        self.robustness = RouterRobustnessState()
+
+    # -------------------------------------------------- robustness views
+    # Back-compat delegation: external code (tests, benches, operators)
+    # historically read these straight off the router.
+
+    @property
+    def supervisors(self):
+        """Per-shard supervisors, or None while robustness is disarmed."""
+        return self.robustness.supervisors
+
+    @supervisors.setter
+    def supervisors(self, value) -> None:
+        self.robustness.supervisors = value
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """OCC retry/backoff policy applied by ``_commit_shard``."""
+        return self.robustness.retry_policy
+
+    @retry_policy.setter
+    def retry_policy(self, value: RetryPolicy) -> None:
+        self.robustness.retry_policy = value
+
+    @property
+    def dead_letters(self) -> DeadLetterQueue:
+        """Feedback batches that exhausted their commit attempts."""
+        return self.robustness.dead_letters
+
+    @dead_letters.setter
+    def dead_letters(self, value: DeadLetterQueue) -> None:
+        self.robustness.dead_letters = value
+
+    @property
+    def occ_conflicts(self) -> int:
+        """Total conflicting commit attempts observed."""
+        return self.robustness.occ_conflicts
+
+    @occ_conflicts.setter
+    def occ_conflicts(self, value: int) -> None:
+        self.robustness.occ_conflicts = value
+
+    @property
+    def occ_retries(self) -> int:
+        """Total backed-off commit retries."""
+        return self.robustness.occ_retries
+
+    @occ_retries.setter
+    def occ_retries(self, value: int) -> None:
+        self.robustness.occ_retries = value
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Total scheduled retry backoff."""
+        return self.robustness.backoff_seconds
+
+    @backoff_seconds.setter
+    def backoff_seconds(self, value: float) -> None:
+        self.robustness.backoff_seconds = value
+
+    @property
+    def _retry_rng(self):
+        return self.robustness.retry_rng
+
+    @_retry_rng.setter
+    def _retry_rng(self, value) -> None:
+        self.robustness.retry_rng = value
+
+    @property
+    def _sleep(self):
+        return self.robustness.sleep
+
+    @_sleep.setter
+    def _sleep(self, value) -> None:
+        self.robustness.sleep = value
+
+    @property
+    def _fault_queries(self) -> int:
+        return self.robustness.fault_queries
+
+    @_fault_queries.setter
+    def _fault_queries(self, value: int) -> None:
+        self.robustness.fault_queries = value
 
     @classmethod
     def from_community(
@@ -109,52 +231,34 @@ class ShardedRouter:
     ) -> "ShardedRouter":
         """Partition ``community`` into ``n_shards`` equal communities.
 
+        .. deprecated:: 1.3
+            Thin shim over :func:`repro.serving.config.build_router`; new
+            code should build a frozen, JSON-round-trippable
+            :class:`~repro.serving.config.ServingConfig` and call
+            ``build_router(config)`` (or ``build_pool(config)`` for the
+            multi-tenant process pool).  This classmethod remains for
+            existing call sites and delegates to the same construction
+            path, so the resulting router is bit-identical.
+
         Each shard keeps the paper's user/page ratios (via
         :meth:`CommunityConfig.scaled`) and gets an independent child random
         stream, so shard behaviour is reproducible regardless of query
         interleaving.  ``cache_capacity=None`` disables caching.
         """
-        if n_shards < 1:
-            raise ValueError("n_shards must be >= 1, got %d" % n_shards)
-        if n_shards > community.n_pages:
-            raise ValueError(
-                "n_shards (%d) cannot exceed n_pages (%d)"
-                % (n_shards, community.n_pages)
-            )
-        # Validate the serving knobs here, before any engine is built, so a
-        # bad configuration fails at construction with the router's name on
-        # it instead of deep inside the first shard's cache.
-        if cache_capacity is not None and cache_capacity < 1:
-            raise ValueError(
-                "cache_capacity must be >= 1 or None, got %d" % cache_capacity
-            )
-        if staleness_budget < 0:
-            raise ValueError(
-                "staleness_budget must be non-negative, got %d" % staleness_budget
-            )
-        base, remainder = divmod(community.n_pages, n_shards)
-        rngs = spawn_rngs(seed, n_shards)
-        engines = []
-        for shard, rng in enumerate(rngs):
-            # Spread the remainder over the first shards so the shard total
-            # equals the requested community size exactly.
-            shard_community = community.scaled(base + (1 if shard < remainder else 0))
-            cache = None
-            if cache_capacity is not None:
-                cache = ResultPageCache(
-                    capacity=cache_capacity, staleness_budget=staleness_budget
-                )
-            engines.append(
-                ServingEngine(
-                    shard_community,
-                    policy,
-                    mode=mode,
-                    cache=cache,
-                    name="shard-%d" % shard,
-                    seed=rng,
-                )
-            )
-        return cls(engines)
+        from repro.serving.config import ServingConfig, build_router
+
+        config = ServingConfig(
+            n_pages=community.n_pages,
+            n_shards=n_shards,
+            mode=mode,
+            policy_rule=policy.rule,
+            policy_k=policy.k,
+            policy_r=policy.r,
+            cache_capacity=cache_capacity,
+            staleness_budget=staleness_budget,
+            seed=seed if isinstance(seed, int) else 0,
+        )
+        return build_router(config, community=community, seed=seed, policy=policy)
 
     # ------------------------------------------------------------------ API
 
@@ -207,9 +311,8 @@ class ShardedRouter:
 
         if degradation is None:
             degradation = DegradationPolicy()
-        if retry is not None:
-            self.retry_policy = retry
-        self.supervisors = [
+        self.robustness.arm(retry=retry, seed=seed, sleep=sleep)
+        self.robustness.supervisors = [
             ShardSupervisor(shard, engine, degradation)
             for shard, engine in enumerate(self.engines)
         ]
@@ -217,10 +320,6 @@ class ShardedRouter:
         self.faults = injector
         for engine in self.engines:
             engine.faults = injector
-        self._retry_rng = as_rng(seed)
-        if sleep is not None:
-            self._sleep = sleep
-        self._fault_queries = 0
         return injector
 
     def disable_robustness(self) -> None:
@@ -228,8 +327,7 @@ class ShardedRouter:
         self.faults = NULL_INJECTOR
         for engine in self.engines:
             engine.faults = NULL_INJECTOR
-        self.supervisors = None
-        self._sleep = time.sleep
+        self.robustness.disarm()
 
     def serve(self, query_id: Hashable, k: int) -> np.ndarray:
         """Serve the top-``k`` result page for one query.
@@ -514,4 +612,4 @@ class ShardedRouter:
         return report
 
 
-__all__ = ["ShardedRouter", "stable_shard_hash"]
+__all__ = ["RouterRobustnessState", "ShardedRouter", "stable_shard_hash"]

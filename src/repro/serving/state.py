@@ -15,6 +15,8 @@ re-sorts of the serving order.
 
 from __future__ import annotations
 
+import multiprocessing
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -24,6 +26,11 @@ from repro.community.page import PagePool, awareness_gain
 from repro.core.kernels import get_backend
 from repro.simulation.config import VALID_MODES
 from repro.utils.rng import RandomSource, as_rng
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
 
 
 class PopularityState:
@@ -226,4 +233,261 @@ class PopularityState:
         self.version += 1
 
 
-__all__ = ["PopularityState"]
+# --- Shared-memory popularity state -------------------------------------
+#
+# The serving pool hosts each shard's mutable popularity arrays in one
+# ``multiprocessing.shared_memory`` block so that worker and client
+# processes commit racing feedback against the *same* version word.  Block
+# layout (all offsets 8-byte aligned):
+#
+#     int64[8]   header: version, committed events/batches, conflicts
+#     float64[n] aware-user counts (the mutable popularity input)
+#     float64[n] per-page quality (written once at creation)
+#     bool[n]    cross-process dirty mask
+#
+# Everything else an engine needs (creation times, page ids, the sorted
+# serving order) stays process-local: only the OCC write path and the
+# popularity inputs must be shared.
+
+_HEADER_SLOTS = 8
+_SLOT_VERSION = 0
+_SLOT_COMMITTED_EVENTS = 1
+_SLOT_COMMITTED_BATCHES = 2
+_SLOT_CONFLICTS = 3
+
+
+def shared_memory_available() -> bool:
+    """True iff ``multiprocessing.shared_memory`` works on this platform."""
+    if _shared_memory is None:
+        return False
+    try:
+        block = _shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):
+        return False
+    block.close()
+    block.unlink()
+    return True
+
+
+def shared_block_nbytes(n_pages: int) -> int:
+    """Size in bytes of one shard's shared popularity block."""
+    return _HEADER_SLOTS * 8 + n_pages * 8 * 2 + n_pages
+
+
+def _block_views(buf, n_pages: int):
+    """(header, aware_count, quality, dirty) numpy views over one block."""
+    header = np.ndarray((_HEADER_SLOTS,), dtype=np.int64, buffer=buf, offset=0)
+    base = _HEADER_SLOTS * 8
+    aware = np.ndarray((n_pages,), dtype=np.float64, buffer=buf, offset=base)
+    quality = np.ndarray(
+        (n_pages,), dtype=np.float64, buffer=buf, offset=base + n_pages * 8
+    )
+    dirty = np.ndarray(
+        (n_pages,), dtype=np.bool_, buffer=buf, offset=base + n_pages * 16
+    )
+    return header, aware, quality, dirty
+
+
+@dataclass(frozen=True)
+class SharedShardHandle:
+    """Picklable address of one shard's shared popularity block.
+
+    The handle plus the shard's commit lock is everything another process
+    needs to :meth:`SharedPopularityState.attach` to the live arrays.
+    """
+
+    name: str
+    n_pages: int
+    monitored_population: int
+    mode: str = "fluid"
+
+
+class SharedPopularityState(PopularityState):
+    """A :class:`PopularityState` whose hot arrays live in shared memory.
+
+    Same ``commit_visits_at`` contract as the base class, but the version
+    word, awareness counts, quality and dirty mask are cross-process views,
+    and the version-check-and-apply step runs under a per-shard lock so a
+    commit is atomic.  Crucially the caller's version *read* stays outside
+    the lock (``ShardedRouter._commit_shard`` reads ``state.version``
+    before committing), so two processes that read the same version race
+    for the commit and the loser observes a genuine OCC conflict — no
+    fault script involved.
+
+    The dirty set stays single-consumer: only the worker process that owns
+    the shard's serving engine calls :meth:`consume_dirty` (which also
+    refreshes the process-local popularity cache from the shared arrays);
+    client writers only commit.
+    """
+
+    def __init__(
+        self,
+        shm,
+        lock,
+        n_pages: int,
+        monitored_population: int,
+        mode: str = "fluid",
+        *,
+        owner: bool = False,
+    ) -> None:
+        # Deliberately no super().__init__: the base would allocate local
+        # arrays and zero a version this block may already carry.
+        if mode not in VALID_MODES:
+            raise ValueError("mode must be one of %s, got %r" % (VALID_MODES, mode))
+        header, aware, quality, dirty = _block_views(shm.buf, n_pages)
+        pool = PagePool.__new__(PagePool)
+        pool.monitored_population = int(monitored_population)
+        pool.quality = quality
+        pool.aware_count = aware
+        pool.created_at = np.zeros(n_pages)
+        pool.page_ids = np.arange(n_pages, dtype=np.int64)
+        pool._next_page_id = n_pages
+        self.pool = pool
+        self.mode = mode
+        self._shm = shm
+        self._lock = lock
+        self._owner = bool(owner)
+        self._header = header
+        self._dirty_mask = dirty
+        # Process-local materialization of A/m * Q, seeded from the block's
+        # current contents and refreshed per dirty batch in consume_dirty.
+        self._popularity = (aware / pool.monitored_population) * quality
+
+    @classmethod
+    def create(
+        cls,
+        community: CommunityConfig,
+        rng: RandomSource = None,
+        mode: str = "fluid",
+        lock=None,
+    ) -> "SharedPopularityState":
+        """Allocate a fresh zero-awareness shared block for ``community``.
+
+        Consumes exactly the quality draw :meth:`PopularityState.from_config`
+        would, so a shared shard built from generator ``g`` matches a local
+        shard built from an identically-seeded generator bit for bit.
+        """
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        qualities = community.sample_qualities(as_rng(rng))
+        n_pages = int(qualities.size)
+        shm = _shared_memory.SharedMemory(
+            create=True, size=shared_block_nbytes(n_pages)
+        )
+        if lock is None:
+            lock = multiprocessing.Lock()
+        state = cls(
+            shm,
+            lock,
+            n_pages,
+            community.n_monitored_users,
+            mode,
+            owner=True,
+        )
+        state._header[:] = 0
+        state.pool.aware_count[:] = 0.0
+        state.pool.quality[:] = qualities
+        state._dirty_mask[:] = False
+        state._popularity[:] = 0.0
+        return state
+
+    @classmethod
+    def attach(cls, handle: SharedShardHandle, lock) -> "SharedPopularityState":
+        """Map another process's shard block (created elsewhere)."""
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        shm = _shared_memory.SharedMemory(name=handle.name)
+        return cls(
+            shm,
+            lock,
+            handle.n_pages,
+            handle.monitored_population,
+            handle.mode,
+            owner=False,
+        )
+
+    @property
+    def handle(self) -> SharedShardHandle:
+        """The picklable address other processes attach with."""
+        return SharedShardHandle(
+            name=self._shm.name,
+            n_pages=self.pool.n,
+            monitored_population=self.pool.monitored_population,
+            mode=self.mode,
+        )
+
+    # The base class stores ``version`` as a plain attribute; here it is the
+    # shared header word, so inherited ``self.version += 1`` mutations land
+    # in shared memory transparently.
+    @property
+    def version(self) -> int:
+        return int(self._header[_SLOT_VERSION])
+
+    @version.setter
+    def version(self, value: int) -> None:
+        self._header[_SLOT_VERSION] = int(value)
+
+    def commit_visits_at(
+        self,
+        indices: np.ndarray,
+        visits: np.ndarray,
+        expected_version: int,
+        rng: RandomSource = None,
+    ) -> bool:
+        indices = np.asarray(indices, dtype=int)
+        visits = np.asarray(visits, dtype=float)
+        with self._lock:
+            if int(self._header[_SLOT_VERSION]) != int(expected_version):
+                self._header[_SLOT_CONFLICTS] += 1
+                return False
+            self.apply_visits_at(indices, visits, rng=rng)
+            self._header[_SLOT_COMMITTED_EVENTS] += int(indices.size)
+            self._header[_SLOT_COMMITTED_BATCHES] += 1
+            return True
+
+    def bump_version(self) -> None:
+        with self._lock:
+            self._header[_SLOT_VERSION] += 1
+
+    def consume_dirty(self) -> np.ndarray:
+        with self._lock:
+            dirty = np.flatnonzero(self._dirty_mask)
+            self._dirty_mask[:] = False
+            if dirty.size:
+                pool = self.pool
+                self._popularity[dirty] = (
+                    pool.aware_count[dirty] / pool.monitored_population
+                ) * pool.quality[dirty]
+        return dirty
+
+    def counters(self) -> dict:
+        """Cross-process commit accounting read from the shared header."""
+        return {
+            "shared_version": float(self._header[_SLOT_VERSION]),
+            "shared_committed_events": float(self._header[_SLOT_COMMITTED_EVENTS]),
+            "shared_committed_batches": float(self._header[_SLOT_COMMITTED_BATCHES]),
+            "shared_conflicts": float(self._header[_SLOT_CONFLICTS]),
+        }
+
+    def close(self) -> None:
+        """Unmap the block; the state keeps a read-only frozen copy."""
+        self.pool.quality = self.pool.quality.copy()
+        self.pool.aware_count = self.pool.aware_count.copy()
+        self._dirty_mask = self._dirty_mask.copy()
+        self._frozen_header = self._header.copy()
+        self._header = self._frozen_header
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Release the block (owner only; call after every process closed)."""
+        if self._owner:
+            self._shm.unlink()
+
+
+__all__ = [
+    "PopularityState",
+    "SharedPopularityState",
+    "SharedShardHandle",
+    "shared_block_nbytes",
+    "shared_memory_available",
+]

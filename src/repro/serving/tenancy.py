@@ -1,0 +1,64 @@
+"""Tenant planning for the multi-tenant serving pool.
+
+A *tenant* is one independent community (its own pages, popularity state
+and random stream) hosted behind the pool's shared front door.  Planning
+is deliberately trivial and deterministic: tenant ``t`` always gets the
+seed ``derive_seed(root, "tenant-t")`` and lands on worker ``t % W``, so
+a pool with the same ``(tenants, workers, seed)`` shape reproduces every
+per-tenant stream regardless of how queries interleave at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Where one tenant community lives and which stream drives it.
+
+    Attributes:
+        tenant: tenant index in ``[0, tenants)``.
+        worker: index of the worker process hosting this tenant's shards.
+        seed: derived root seed for the tenant's engines and workload.
+        n_pages: community size of the tenant.
+    """
+
+    tenant: int
+    worker: int
+    seed: int
+    n_pages: int
+
+    @property
+    def name(self) -> str:
+        return "tenant-%d" % self.tenant
+
+
+def plan_tenancy(
+    tenants: int, workers: int, seed: int, n_pages: int
+) -> List[TenantSpec]:
+    """Assign ``tenants`` communities round-robin over ``workers`` processes.
+
+    Round-robin keeps the per-worker tenant counts within one of each
+    other, and — because the assignment depends only on the indices — a
+    resized pool moves whole tenants rather than reshuffling pages.
+    """
+    if tenants < 1:
+        raise ValueError("tenants must be >= 1, got %d" % tenants)
+    if workers < 1:
+        raise ValueError("workers must be >= 1, got %d" % workers)
+    return [
+        TenantSpec(
+            tenant=tenant,
+            worker=tenant % workers,
+            seed=derive_seed(seed, "tenant-%d" % tenant),
+            n_pages=n_pages,
+        )
+        for tenant in range(tenants)
+    ]
+
+
+__all__ = ["TenantSpec", "plan_tenancy"]
