@@ -154,18 +154,16 @@ class PagePool:
 
     def as_pages(self, now: float = 0.0) -> list:
         """Materialize the pool as a list of :class:`Page` objects."""
-        pages = []
-        for i in range(self.n):
-            pages.append(
-                Page(
-                    page_id=int(self.page_ids[i]),
-                    quality=float(self.quality[i]),
-                    created_at=float(self.created_at[i]),
-                    aware_monitored_users=int(round(self.aware_count[i])),
-                    monitored_population=self.monitored_population,
-                )
+        return [
+            Page(
+                page_id=int(self.page_ids[i]),
+                quality=float(self.quality[i]),
+                created_at=float(self.created_at[i]),
+                aware_monitored_users=int(round(self.aware_count[i])),
+                monitored_population=self.monitored_population,
             )
-        return pages
+            for i in range(self.n)
+        ]
 
     @classmethod
     def from_config(cls, config, rng: RandomSource = None) -> "PagePool":

@@ -121,12 +121,21 @@ class KernelBackend(abc.ABC):
         between days, so yesterday's order viewed under today's scores is
         often a small number of sorted runs; a backend may then build the
         new permutation by merging those runs instead of re-sorting from
-        scratch.  The hint never changes the result: the permutation
+        scratch.  When the day is instead *densely* perturbed — too many
+        runs to merge, but every page displaced by at most ``d`` ranks (the
+        fluid steady state) — a backend may estimate ``d`` from the hint
+        and sort overlapping width-``2d`` windows along yesterday's order
+        (the displacement-bounded windowed route), verifying the bound
+        after the fact.  The hint never changes the result: the permutation
         contract above is bit-identical with or without it (any sort order
         within equal primary keys is normalized by the exact tie repair),
         and a backend must fall back to the full sort whenever the hint is
-        not actually near-sorted.  Tie-key draws are taken *before* the
-        sort path is chosen, so RNG consumption is hint-independent.
+        not actually near-sorted or a row violates its displacement bound.
+        Tie-key draws are taken *before* the sort path is chosen, so RNG
+        consumption is hint-independent.  Route choices and realized
+        displacement bounds are accounted per row in
+        :data:`repro.core.kernels.numpy_backend.ROUTE_STATS` (shared by all
+        backends).
         """
 
     @abc.abstractmethod

@@ -19,6 +19,7 @@ overridden.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,6 +54,81 @@ ADAPTIVE_BLOCK_ELEMENTS = 65536
 #: while the passes stay full-width ufunc calls (the ROADMAP's row-blocked
 #: day tail).
 DAY_TAIL_BLOCK_ROWS = 8
+
+#: Number of probe positions the windowed-route displacement estimator
+#: samples per row.  The estimate costs one prefix-max pass plus one
+#: vectorized comparison per power-of-two gap — negligible next to
+#: either sort route — and its resolution is ``n / probes`` elements,
+#: which lower-bounds the window radius the route can pick.  The probe
+#: only *lower*-bounds the true maximum displacement (unprobed positions
+#: may move further); the gap-doubling slack plus the power-of-two
+#: round-up make the window wide enough in practice, and the post-sort
+#: verification catches any row the estimate still undershoots.
+ADAPTIVE_WINDOW_PROBES = 512
+
+#: Smallest window radius the windowed route will use.  Below this the
+#: per-pass reshape/argsort overhead dominates and the route cannot beat
+#: a plain copy-or-merge anyway.
+ADAPTIVE_WINDOW_MIN = 8
+
+
+class RankRouteStats:
+    """Cumulative per-row counters for the adaptive ``rank_day`` router.
+
+    One module-level instance (:data:`ROUTE_STATS`) is shared by every
+    backend: the numba backend updates the same object, so callers
+    (benches, :class:`~repro.simulation.batch.BatchSimulator` telemetry,
+    sweep resorts) sample route mix without caring which backend ran.
+    Counters only ever increase; callers snapshot before/after a region
+    and difference the totals.  ``displacement_sum``/``displacement_max``
+    track the estimated (numpy) or realized (numba) per-row displacement
+    bound of rows that took the windowed route.
+    """
+
+    __slots__ = (
+        "copy",
+        "run_merge",
+        "windowed",
+        "full",
+        "displacement_sum",
+        "displacement_max",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.copy = 0
+        self.run_merge = 0
+        self.windowed = 0
+        self.full = 0
+        self.displacement_sum = 0
+        self.displacement_max = 0
+
+    def record_windowed(self, rows: int, displacement_sum: int, displacement_max: int) -> None:
+        self.windowed += rows
+        self.displacement_sum += displacement_sum
+        if displacement_max > self.displacement_max:
+            self.displacement_max = displacement_max
+
+    def as_dict(self) -> dict:
+        return {
+            "rank_route_copy": self.copy,
+            "rank_route_run_merge": self.run_merge,
+            "rank_route_windowed": self.windowed,
+            "rank_route_full": self.full,
+            "rank_displacement_sum": self.displacement_sum,
+            "rank_displacement_max": self.displacement_max,
+        }
+
+
+#: The shared route-mix counter (see :class:`RankRouteStats`).
+ROUTE_STATS = RankRouteStats()
+
+#: Thread-local packed-key buffer of the windowed sort
+#: (:meth:`NumpyKernelBackend._windowed_sort_rows`): reused across days so
+#: the route does not fault in a fresh ~(rows, n) arena every call.
+_WINDOWED_SCRATCH = threading.local()
 
 
 def merge_repair(
@@ -134,6 +210,7 @@ class NumpyKernelBackend(KernelBackend):
             check_tie_breaker(tie_breaker)
 
         negated = -scores
+        verify_rows = None
         if prev_perm is not None and n > 0:
             prev_perm = np.asarray(prev_perm)
             if prev_perm.shape != (R, n):
@@ -141,10 +218,28 @@ class NumpyKernelBackend(KernelBackend):
                     "prev_perm must have shape (%d, %d), got %s"
                     % (R, n, prev_perm.shape)
                 )
-            perm = self._rank_adaptive(negated, prev_perm)
+            perm, verify_rows = self._rank_adaptive(negated, prev_perm)
         else:
             perm = np.argsort(negated, axis=1)  # unstable quicksort: ties repaired below
         sorted_keys = _flat_take(negated, perm)
+        if verify_rows is not None and verify_rows.size:
+            # The windowed route's overlap-consistency check, folded onto
+            # the sorted-key gather every route pays anyway: a row whose
+            # displacement bound was violated is not nondecreasing here
+            # and is re-sorted exactly, so the estimate only ever affects
+            # speed, never the result.
+            if verify_rows.size == perm.shape[0]:
+                checked = sorted_keys  # all rows windowed: skip the gather
+            else:
+                checked = sorted_keys[verify_rows]
+            bad = verify_rows[np.any(checked[:, 1:] < checked[:, :-1], axis=1)]
+            if bad.size:
+                ROUTE_STATS.windowed -= bad.size
+                ROUTE_STATS.full += bad.size
+                perm[bad] = np.argsort(negated[bad], axis=1)
+                sorted_keys[bad] = np.take_along_axis(
+                    negated[bad], perm[bad], axis=1
+                )
         self._repair_tie_runs(perm, sorted_keys, tie_breaker, tie_keys, ages)
         return perm
 
@@ -152,12 +247,12 @@ class NumpyKernelBackend(KernelBackend):
 
     def _rank_adaptive(
         self, negated: np.ndarray, prev_perm: np.ndarray
-    ) -> np.ndarray:
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         """Sort each row by merging yesterday's order where it survived.
 
         Yesterday's permutation viewed under today's keys decomposes into
         maximal nondecreasing runs (ties never break a run — the exact tie
-        repair afterwards normalizes them anyway).  Rows split three ways,
+        repair afterwards normalizes them anyway).  Rows split four ways,
         each handled batched across the rows that take it:
 
         * no run boundary — yesterday's order is already sorted, copy it;
@@ -165,68 +260,212 @@ class NumpyKernelBackend(KernelBackend):
           to every boundary), verify that the remaining spine is one
           sorted run, and binary-merge the sorted moved pages back into it
           (:meth:`_reinsert_moved`, O(n + d log d));
-        * many boundaries, or a spine the extraction could not heal (a
-          whole block of pages displaced together) — the day is not
-          near-sorted: full ``argsort``.
+        * many boundaries but a small probed displacement bound ``d`` —
+          the fluid steady-state shape: sort width-``2d`` windows along
+          yesterday's order (:meth:`_rank_displaced`, O(n log d));
+        * everything else — the day is not near-sorted: full ``argsort``.
 
         Every path produces *a* permutation sorted by the primary key,
         which is all the tie repair needs to make the result bit-identical
-        to the full-sort path.  Rows are processed in cache-sized blocks
-        (:data:`ADAPTIVE_BLOCK_ELEMENTS`): the analysis is a dozen
-        elementwise passes whose temporaries would otherwise stream
-        through DRAM at large ``R * n``.
+        to the full-sort path.  Returns ``(perm, verify_rows)``:
+        ``verify_rows`` (possibly ``None``) lists the rows that took the
+        windowed route, whose estimated bound the caller must verify
+        against the sorted keys it gathers anyway.
         """
-        R, n = negated.shape
-        block = max(1, ADAPTIVE_BLOCK_ELEMENTS // max(1, n))
-        if R <= block:
-            return self._rank_adaptive_block(negated, prev_perm)
-        perm = np.empty((R, n), dtype=prev_perm.dtype)
-        for lo in range(0, R, block):
-            hi = min(lo + block, R)
-            perm[lo:hi] = self._rank_adaptive_block(
-                negated[lo:hi], prev_perm[lo:hi]
-            )
-        return perm
+        from repro.core.batch_rank import _flat_take
 
-    def _rank_adaptive_block(
-        self, negated: np.ndarray, prev_perm: np.ndarray
-    ) -> np.ndarray:
-        """One row block of :meth:`_rank_adaptive` (see there)."""
         R, n = negated.shape
-        prev_keys = np.take_along_axis(negated, prev_perm, axis=1)
+        prev_keys = _flat_take(negated, prev_perm)
         breaks = prev_keys[:, 1:] < prev_keys[:, :-1]
         break_counts = breaks.sum(axis=1)
         max_moved = max(4, int(n * ADAPTIVE_MAX_MOVED_FRACTION))
         sorted_rows = break_counts == 0
         candidate = ~sorted_rows & (4 * break_counts <= max_moved)
-        # Uniform blocks skip the per-subset gathers: every row sorted
-        # (quiet day), or none near-sorted (churny day — the common
-        # fallback, kept as cheap as the detection passes allow).
+        displaced = ~sorted_rows & ~candidate
+        # Uniform days skip the per-subset gathers: every row sorted
+        # (quiet day), or every row churned (the fluid steady state —
+        # the whole batch goes to the displacement-bounded route in one
+        # call, full width: its window sorts are cache-local by
+        # construction, so it needs no row blocking).
         if sorted_rows.all():
-            return prev_perm.copy()
-        if not sorted_rows.any() and not candidate.any():
-            return np.argsort(negated, axis=1)
-        if candidate.all():
-            merged, healed = self._reinsert_moved(prev_keys, prev_perm, breaks)
-            if healed.all():
-                return merged
-            merged[~healed] = np.argsort(negated[~healed], axis=1)
-            return merged
+            ROUTE_STATS.copy += R
+            return prev_perm.copy(), None
+        if displaced.all():
+            return self._rank_displaced(negated, prev_keys, prev_perm)
         perm = np.empty((R, n), dtype=prev_perm.dtype)
-        fallback = ~sorted_rows & ~candidate
         if sorted_rows.any():
+            ROUTE_STATS.copy += int(sorted_rows.sum())
             perm[sorted_rows] = prev_perm[sorted_rows]
         if candidate.any():
+            # The re-insertion analysis is ~12 elementwise passes over
+            # (rows, n) temporaries; cache-sized row blocks
+            # (:data:`ADAPTIVE_BLOCK_ELEMENTS`) keep them resident.
             rows = np.flatnonzero(candidate)
-            merged, healed = self._reinsert_moved(
-                prev_keys[rows], prev_perm[rows], breaks[rows]
+            block = max(1, ADAPTIVE_BLOCK_ELEMENTS // max(1, n))
+            for lo in range(0, rows.size, block):
+                sub = rows[lo:lo + block]
+                merged, healed = self._reinsert_moved(
+                    prev_keys[sub], prev_perm[sub], breaks[sub]
+                )
+                ROUTE_STATS.run_merge += int(healed.sum())
+                perm[sub[healed]] = merged[healed]
+                if not healed.all():
+                    displaced[sub[~healed]] = True
+        verify_rows = None
+        if displaced.any():
+            rows = np.flatnonzero(displaced)
+            perm[rows], verify = self._rank_displaced(
+                negated[rows], prev_keys[rows], prev_perm[rows]
             )
-            perm[rows[healed]] = merged[healed]
-            fallback[rows[~healed]] = True
-        if fallback.any():
-            rows = np.flatnonzero(fallback)
+            if verify is not None:
+                verify_rows = rows[verify]
+        return perm, verify_rows
+
+    def _rank_displaced(
+        self, negated: np.ndarray, prev_keys: np.ndarray, prev_perm: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Displacement-bounded windowed sort of rows that declined run-merge.
+
+        Fluid steady-state days defeat run-merging (thousands of run
+        boundaries from near-tied tail churn) yet displace each page only
+        a short distance.  For such rows a probe lower-bounds the maximum
+        displacement ``d`` (:meth:`_estimate_displacement`), and two
+        offset passes of disjoint width-``2d`` block sorts along
+        yesterday's order fully sort any ``d``-displaced row
+        (:meth:`_windowed_sort_rows`) in O(n log d) instead of
+        O(n log n).  Rows whose estimate exceeds the ``2d > n/4`` cutoff
+        take the full argsort instead; rows the estimate undershoots are
+        caught by the caller's sorted-key verification and re-sorted — so
+        the route is exact regardless of estimate quality, and the tie
+        repair downstream makes it bit-identical to every other route.
+
+        ``prev_keys`` are the float keys in yesterday's order.  Returns
+        ``(perm, verify_rows)`` with ``verify_rows`` the (local) rows
+        that took the windowed route.
+        """
+        L, n = negated.shape
+        estimates = self._estimate_displacement(prev_keys)
+        full_rows: List[int] = []
+        buckets: dict = {}
+        for i in range(L):
+            d = max(ADAPTIVE_WINDOW_MIN, int(estimates[i]))
+            d = 1 << (d - 1).bit_length()  # bucket rows by power-of-two radius
+            if 2 * d > n // 4:
+                full_rows.append(i)
+            else:
+                buckets.setdefault(d, []).append(i)
+        if len(buckets) == 1 and not full_rows:
+            # The fluid steady-state fast path: one shared bound, no
+            # per-subset gathers.
+            (d, row_list), = buckets.items()
+            perm = self._windowed_sort_rows(prev_keys, prev_perm, d)
+            ROUTE_STATS.record_windowed(L, L * d, d)
+            return perm, np.arange(L, dtype=np.int64)
+        perm = np.empty((L, n), dtype=prev_perm.dtype)
+        windowed: List[int] = []
+        for d, row_list in buckets.items():
+            rows = np.asarray(row_list, dtype=np.int64)
+            perm[rows] = self._windowed_sort_rows(
+                prev_keys[rows], prev_perm[rows], d
+            )
+            windowed.extend(row_list)
+            ROUTE_STATS.record_windowed(rows.size, int(rows.size) * d, d)
+        if full_rows:
+            rows = np.asarray(full_rows, dtype=np.int64)
             perm[rows] = np.argsort(negated[rows], axis=1)
-        return perm
+            ROUTE_STATS.full += rows.size
+        verify_rows = (
+            np.asarray(sorted(windowed), dtype=np.int64) if windowed else None
+        )
+        return perm, verify_rows
+
+    def _estimate_displacement(self, prev_keys: np.ndarray) -> np.ndarray:
+        """Probe each row's maximum inversion span over a sparse sample.
+
+        Over every ``stride``-th key, an inversion of gap ``g`` samples —
+        ``sampled[i] < max(sampled[:i-g+1])`` — means some element must
+        cross ``>= g`` whole strides when the row is sorted.  Gaps are
+        probed at powers of two with one vectorized comparison per gap:
+        a violation at gap ``2g`` implies one at gap ``g`` (the prefix
+        max only grows), so the scan stops at the first gap no row
+        violates.  The returned per-row bound ``(2*g_max + 1) * stride``
+        covers the span such an inversion demands plus a stride of slack
+        on each side for structure the sample cannot see; the caller's
+        sorted-key verification covers everything else — the estimate
+        only ever costs speed, never the result.
+        """
+        L, n = prev_keys.shape
+        stride = max(1, n // ADAPTIVE_WINDOW_PROBES)
+        sampled = np.ascontiguousarray(prev_keys[:, ::stride])
+        prefix_max = np.maximum.accumulate(sampled, axis=1)
+        m = sampled.shape[1]
+        g_max = np.zeros(L, dtype=np.int64)
+        g = 1
+        while g < m:
+            viol = (sampled[:, g:] < prefix_max[:, :-g]).any(axis=1)
+            if not viol.any():
+                break
+            g_max[viol] = g
+            g *= 2
+        return (2 * g_max + 1) * stride
+
+    def _windowed_sort_rows(
+        self, prev_keys: np.ndarray, prev_perm: np.ndarray, d: int
+    ) -> np.ndarray:
+        """Sort ``d``-displaced rows by two offset passes of width-``2d`` blocks.
+
+        Pass one sorts disjoint width-``2d`` blocks along yesterday's
+        order; pass two repeats shifted by ``d``, so the two passes'
+        blocks overlap by ``d`` — after which every element displaced by
+        at most ``d`` has reached its sorted position (an element can
+        cross at most one block seam per pass, and the seams of the two
+        passes are ``d`` apart).  The float keys are unfolded in place
+        into order-preserving int64 (sign-magnitude unfold: ``k1 < k2``
+        as floats iff ``ikey1 < ikey2`` as signed ints) with the
+        element's page id packed into the low bits, so pass one is a
+        plain SIMD ``np.sort``, pass two a stable sort whose timsort
+        merge gallops through each block's two already-sorted halves, no
+        index gathers anywhere — masking the low bits *is* the
+        permutation.  The packing truncates the key's lowest
+        ``bit_length(n)`` mantissa bits; any mis-order that truncation
+        (or a violated bound) lets through is caught by the caller's
+        exact sorted-key verification.  Tail blocks are padded with
+        int64-max sentinels, which sort to the very end, past every real
+        element (page ids never fill the truncated field).
+        """
+        L, n = prev_keys.shape
+        w = 2 * d
+        pos_bits = int(n).bit_length()
+        # Scratch reuse: a fresh ~(L, n) buffer every call would fault in
+        # new pages each day (the dominant cost at the bench shape).
+        scratch = getattr(_WINDOWED_SCRATCH, "slot", None)
+        if scratch is None or scratch.shape[0] < L or scratch.shape[1] < n + w:
+            scratch = np.empty((L, n + w), dtype=np.int64)
+            _WINDOWED_SCRATCH.slot = scratch
+        packed = scratch[:L, : n + w]
+        packed[:, n:] = np.iinfo(np.int64).max
+        fbits = np.ascontiguousarray(prev_keys).view(np.int64)
+        pk = packed[:, :n]
+        # ikey = fbits ^ ((fbits >> 63) & int64_max), built with in-place
+        # passes over the scratch (no fresh (L, n) temporaries to fault).
+        np.right_shift(fbits, 63, out=pk)
+        pk &= np.int64(np.iinfo(np.int64).max)
+        pk ^= fbits
+        pk &= np.int64(~((1 << pos_bits) - 1))
+        pk |= prev_perm
+        row_stride, item_stride = packed.strides
+        for offset, kind in ((0, "quicksort"), (d, "stable")):
+            # In-place block view: a plain reshape of the offset slice
+            # would copy (the rows are strided), and sorting the copy
+            # silently discards the pass.
+            blocks = np.lib.stride_tricks.as_strided(
+                packed[:, offset:],
+                shape=(L, (n - offset + w - 1) // w, w),
+                strides=(row_stride, w * item_stride, item_stride),
+            )
+            blocks.sort(axis=2, kind=kind)
+        perm = pk & ((1 << pos_bits) - 1)
+        return perm.astype(prev_perm.dtype, copy=False)
 
     def _reinsert_moved(
         self, keys: np.ndarray, prev: np.ndarray, breaks: np.ndarray
@@ -274,10 +513,16 @@ class NumpyKernelBackend(KernelBackend):
         if falls.size:
             healed[np.searchsorted(keep_offsets[1:], falls, side="right")] = False
         # Sort every row's moved keys in one padded (L, d) argsort: pads
-        # are +inf, so they stay in the trailing columns.
+        # are the key dtype's maximum, so they stay in the trailing
+        # columns (the keys are int64-unfolded floats; see
+        # :meth:`_rank_adaptive`).
         d_max = int(d_counts.max())
         within = np.arange(flat_moved.size, dtype=np.int64) - moved_offsets[row_of]
-        keys_matrix = np.full((L, d_max), np.inf)
+        if np.issubdtype(keys.dtype, np.integer):
+            pad_value = np.iinfo(keys.dtype).max
+        else:
+            pad_value = np.inf
+        keys_matrix = np.full((L, d_max), pad_value, dtype=keys.dtype)
         keys_matrix[row_of, within] = moved_keys
         idx_matrix = np.zeros((L, d_max), dtype=prev.dtype)
         idx_matrix[row_of, within] = moved_idx
@@ -596,4 +841,10 @@ class NumpyKernelBackend(KernelBackend):
 #: Module-level singleton the registry hands out.
 BACKEND = NumpyKernelBackend()
 
-__all__ = ["NumpyKernelBackend", "BACKEND", "merge_repair"]
+__all__ = [
+    "NumpyKernelBackend",
+    "BACKEND",
+    "merge_repair",
+    "RankRouteStats",
+    "ROUTE_STATS",
+]

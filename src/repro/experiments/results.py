@@ -67,10 +67,10 @@ class ExperimentResult:
         )
         xs = sorted({x for s in self.series for x in s.x})
         for x in xs:
-            row = [x]
-            for s in self.series:
-                row.append(s.y[s.x.index(x)] if x in s.x else "-")
-            table.add_row(*row)
+            row = [
+                s.y[s.x.index(x)] if x in s.x else "-" for s in self.series
+            ]
+            table.add_row(x, *row)
         return table
 
     def render(self) -> str:
@@ -78,8 +78,10 @@ class ExperimentResult:
         lines = [self.to_table().render()]
         if self.notes:
             lines.append("")
-            for key in sorted(self.notes):
-                lines.append("note[%s]: %s" % (key, self.notes[key]))
+            lines.extend(
+                "note[%s]: %s" % (key, self.notes[key])
+                for key in sorted(self.notes)
+            )
         return "\n".join(lines)
 
 

@@ -111,7 +111,7 @@ def _worker_main(
     # because every conflict means another writer's commit landed — once
     # the racing writers finish, the next attempt sees a stable version.
     leftover_events = 0.0
-    for tenant, router in routers.items():
+    for router in routers.values():
         report = router.flush_feedback()
         rounds = 0
         while len(router.dead_letters) and rounds < 64:

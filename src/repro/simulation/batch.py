@@ -37,6 +37,7 @@ from repro.community.lifecycle import Lifecycle, PoissonLifecycle
 from repro.community.page import BatchPagePool
 from repro.core.kernels import get_backend
 from repro.core.rankers import Ranker
+from repro.core.kernels.numpy_backend import ROUTE_STATS
 from repro.core.rankers_context import BatchRankingContext
 from repro.metrics.qpc import QPCAccumulator
 from repro.metrics.tbp import tbp_from_trajectory
@@ -140,10 +141,23 @@ class BatchSimulator:
         if telemetry.enabled:
             day = self.day
             started = time.perf_counter()
+            routes = ROUTE_STATS.as_dict() if self.adaptive_rank else None
             try:
                 return self._step(compute_all_visits)
             finally:
                 telemetry.record_day_step(day, time.perf_counter() - started)
+                if routes is not None:
+                    after = ROUTE_STATS.as_dict()
+                    telemetry.record_rank_routes(
+                        after["rank_route_full"] - routes["rank_route_full"],
+                        after["rank_route_run_merge"]
+                        - routes["rank_route_run_merge"],
+                        after["rank_route_windowed"]
+                        - routes["rank_route_windowed"],
+                        after["rank_route_copy"] - routes["rank_route_copy"],
+                        after["rank_displacement_sum"]
+                        - routes["rank_displacement_sum"],
+                    )
         return self._step(compute_all_visits)
 
     def _step(self, compute_all_visits: bool) -> Optional[np.ndarray]:

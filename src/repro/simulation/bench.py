@@ -23,6 +23,7 @@ from typing import Dict, Optional
 
 from repro.community.config import CommunityConfig, DEFAULT_COMMUNITY
 from repro.core.kernels import get_backend, use_backend
+from repro.core.kernels.numpy_backend import ROUTE_STATS
 from repro.core.policy import RankPromotionPolicy, RECOMMENDED_POLICY
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import _run_replicates
@@ -117,6 +118,7 @@ def run_simulation_benchmark(
         )
         recorder.install_kernel_spans()
 
+    routes_before = ROUTE_STATS.as_dict() if adaptive_rank else None
     started = time.perf_counter()
     try:
         batch = _run_replicates(
@@ -162,6 +164,21 @@ def run_simulation_benchmark(
     }
     if parity is not None:
         report["parity_bit_identical"] = 1.0 if parity else 0.0
+    if routes_before is not None:
+        # Route mix of the in-process timed region (worker processes keep
+        # their own counters); the mean estimated/realized displacement
+        # bound tags the JSON with how tight the windowed route ran.
+        after = ROUTE_STATS.as_dict()
+        for key, before in routes_before.items():
+            if key == "rank_displacement_max":
+                report[key] = float(after[key])
+            else:
+                report[key] = float(after[key] - before)
+        windowed_rows = report.get("rank_route_windowed", 0.0)
+        if windowed_rows:
+            report["rank_displacement_mean"] = (
+                report["rank_displacement_sum"] / windowed_rows
+            )
     if recorder is not None:
         report.update(recorder.snapshot())
     return report

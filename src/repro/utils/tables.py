@@ -40,8 +40,10 @@ class Table:
         header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
         lines.append(header)
         lines.append("-+-".join("-" * w for w in widths))
-        for row in self.rows:
-            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        lines.extend(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            for row in self.rows
+        )
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - delegation
@@ -51,8 +53,10 @@ class Table:
 def format_series(name: str, xs: Iterable, ys: Iterable) -> str:
     """Format a named (x, y) series as one line per point."""
     lines = [name]
-    for x, y in zip(xs, ys):
-        lines.append("  %s -> %s" % (_format_cell(x), _format_cell(y)))
+    lines.extend(
+        "  %s -> %s" % (_format_cell(x), _format_cell(y))
+        for x, y in zip(xs, ys)
+    )
     return "\n".join(lines)
 
 

@@ -321,6 +321,37 @@ def _drifted_day(rng, R, n, moved, block=False):
     return scores, prev_perm
 
 
+def _fluid_day(rng, R, n, scale=1e-4):
+    """The fluid steady state: everything jitters, nothing travels far.
+
+    Yesterday's scores are a shared descending base; today multiplies in
+    per-page noise small enough that every page stays within a narrow
+    displacement band of its old rank — the windowed route's home turf.
+    """
+    base = np.sort(rng.random(n))[::-1]
+    scores_prev = np.tile(base, (R, 1))
+    prev_perm = np.argsort(-scores_prev, axis=1)
+    scores = scores_prev * (1.0 + rng.normal(0.0, scale, (R, n)))
+    return scores, prev_perm
+
+
+def _exact_breaks_day(R, n, breaks):
+    """Descending scores with exactly ``breaks`` descent violations.
+
+    ``prev_perm`` is the identity (the base is already sorted), and each
+    adjacent-column swap manufactures exactly one break; swaps are spaced
+    three apart so breaks never merge.  Lets a test sit a row precisely on
+    the ``4 * breaks <= max_moved`` run-merge threshold.
+    """
+    assert n >= 3 * breaks + 2, "need room for %d isolated swaps" % breaks
+    scores = np.tile(np.linspace(1.0, 0.5, n), (R, 1))
+    prev_perm = np.tile(np.arange(n), (R, 1))
+    for b in range(breaks):
+        j = 3 * b + 1
+        scores[:, [j, j + 1]] = scores[:, [j + 1, j]]
+    return scores, prev_perm
+
+
 class TestAdaptiveRankDay:
     """The prev_perm hint must never change rank_day's output."""
 
@@ -329,13 +360,19 @@ class TestAdaptiveRankDay:
         n=st.integers(1, 120),
         moved=st.integers(1, 30),
         block=st.booleans(),
+        fluid=st.booleans(),
         tie_breaker=st.sampled_from(["random", "age", "index"]),
     )
     @settings(max_examples=60, deadline=None)
-    def test_bit_identical_to_full_sort(self, seed, n, moved, block, tie_breaker):
+    def test_bit_identical_to_full_sort(
+        self, seed, n, moved, block, fluid, tie_breaker
+    ):
         rng = np.random.default_rng(seed)
         R = 3
-        scores, prev_perm = _drifted_day(rng, R, n, moved, block=block)
+        if fluid:
+            scores, prev_perm = _fluid_day(rng, R, n)
+        else:
+            scores, prev_perm = _drifted_day(rng, R, n, moved, block=block)
         ages = np.floor(rng.random((R, n)) * 4) if tie_breaker == "age" else None
         backend = get_backend()
         full = backend.rank_day(scores, ages, tie_breaker, spawn_rngs(seed, R))
@@ -377,6 +414,92 @@ class TestAdaptiveRankDay:
                 np.zeros((2, 5)), None, "index", spawn_rngs(0, 2),
                 prev_perm=np.zeros((2, 4), dtype=int),
             )
+
+    @pytest.mark.parametrize(
+        "backend_name", ["numpy"] + (["numba"] if HAVE_NUMBA else [])
+    )
+    def test_run_merge_threshold_boundary(self, backend_name):
+        """Rows exactly at ``4 * breaks == max_moved`` route deterministically.
+
+        At the boundary the run-merge candidacy check must accept (``<=``),
+        one break past it must decline into the windowed route — on both
+        backends, bit-identical to the full sort either way.
+        """
+        from repro.core.kernels.numpy_backend import (
+            ADAPTIVE_MAX_MOVED_FRACTION, ROUTE_STATS,
+        )
+
+        backend = get_backend(backend_name)
+        backend.warmup()
+        R, n = 3, 96
+        max_moved = max(4, int(n * ADAPTIVE_MAX_MOVED_FRACTION))
+        at_boundary = max_moved // 4
+        for breaks, route in ((at_boundary, "rank_route_run_merge"),
+                              (at_boundary + 1, "rank_route_windowed")):
+            scores, prev_perm = _exact_breaks_day(R, n, breaks)
+            full = backend.rank_day(scores, None, "index", spawn_rngs(9, R))
+            ROUTE_STATS.reset()
+            adaptive = backend.rank_day(
+                scores, None, "index", spawn_rngs(9, R), prev_perm=prev_perm
+            )
+            np.testing.assert_array_equal(full, adaptive)
+            stats = ROUTE_STATS.as_dict()
+            assert stats[route] == R, (breaks, stats)
+
+    @pytest.mark.parametrize("tie_breaker", ["random", "index"])
+    def test_windowed_route_bit_identical(self, tie_breaker):
+        """A fluid day routes every row through the windowed sort."""
+        from repro.core.kernels.numpy_backend import ROUTE_STATS
+
+        rng = np.random.default_rng(17)
+        R, n = 4, 3000
+        scores, prev_perm = _fluid_day(rng, R, n)
+        backend = get_backend()
+        full = backend.rank_day(scores, None, tie_breaker, spawn_rngs(4, R))
+        ROUTE_STATS.reset()
+        adaptive = backend.rank_day(
+            scores, None, tie_breaker, spawn_rngs(4, R), prev_perm=prev_perm
+        )
+        np.testing.assert_array_equal(full, adaptive)
+        stats = ROUTE_STATS.as_dict()
+        assert stats["rank_route_windowed"] == R, stats
+        assert stats["rank_displacement_max"] >= 1
+
+    def test_windowed_undershoot_falls_back_exactly(self, monkeypatch):
+        """An undershooting displacement estimate must be caught, not trusted.
+
+        Forcing the estimator to claim d=1 while a perfect shuffle moved
+        every page up to n/2 slots makes the windowed sort produce a wrong
+        permutation; the post-hoc descent verification has to detect every
+        such row, re-sort it, and rebook it from the windowed to the full
+        counter.
+        """
+        from repro.core.kernels.numpy_backend import ROUTE_STATS
+
+        monkeypatch.setattr(
+            type(NUMPY_BACKEND), "_estimate_displacement",
+            lambda self, prev_keys: np.ones(prev_keys.shape[0], dtype=np.int64),
+        )
+        rng = np.random.default_rng(23)
+        R, n = 3, 2000
+        scores_prev = np.sort(rng.random((R, n)), axis=1)[:, ::-1]
+        prev_perm = np.argsort(-scores_prev, axis=1)
+        # Riffle yesterday's halves: page 2k takes rank-k value, page 2k+1
+        # the rank-(n/2 + k) value — breaks at every other slot (declines
+        # the run-merge route) and true displacements far past any window.
+        shuffle = np.empty(n, dtype=np.int64)
+        shuffle[0::2] = np.arange(n // 2)
+        shuffle[1::2] = np.arange(n // 2, n)
+        scores = scores_prev[:, shuffle]
+        full = NUMPY_BACKEND.rank_day(scores, None, "index", spawn_rngs(1, R))
+        ROUTE_STATS.reset()
+        adaptive = NUMPY_BACKEND.rank_day(
+            scores, None, "index", spawn_rngs(1, R), prev_perm=prev_perm
+        )
+        np.testing.assert_array_equal(full, adaptive)
+        stats = ROUTE_STATS.as_dict()
+        assert stats["rank_route_windowed"] == 0, stats
+        assert stats["rank_route_full"] == R, stats
 
     @pytest.mark.parametrize("mode", ["fluid", "stochastic"])
     def test_batch_simulator_adaptive_parity(self, kernel_community, mode):
@@ -645,6 +768,21 @@ def test_numba_adaptive_algorithm_parity_with_stubbed_njit(monkeypatch):
                     rng, R, n, moved=max(1, n // 10),
                     block=(trial % 2 == 0),
                 )
+                for tie_breaker in ("random", "index"):
+                    full = NUMPY_BACKEND.rank_day(
+                        scores, None, tie_breaker, spawn_rngs(trial, R)
+                    )
+                    hinted = backend.rank_day(
+                        scores, None, tie_breaker, spawn_rngs(trial, R),
+                        prev_perm=prev_perm,
+                    )
+                    np.testing.assert_array_equal(full, hinted)
+        # Fluid days exercise the bounded-insertion (windowed) pass: dense
+        # local jitter declines the run-merge route but every shift stays
+        # inside the n/8 bound.
+        for R, n in ((3, 400), (2, 64)):
+            for trial in range(3):
+                scores, prev_perm = _fluid_day(rng, R, n, scale=0.01)
                 for tie_breaker in ("random", "index"):
                     full = NUMPY_BACKEND.rank_day(
                         scores, None, tie_breaker, spawn_rngs(trial, R)
