@@ -280,14 +280,14 @@ def bench_lane_repair():
     def perlane():
         scratch = None
         repaired = []
-        for order, pop, dirty in zip(orders, pops, dirties):
+        for order, pop, dirty in zip(orders, pops, dirties, strict=True):
             merged, scratch = merge_repair(order, pop, dirty, scratch)
             repaired.append(merged)
         return repaired
 
     grouped = backend.lane_repair(orders, pops, dirties)
     parity = all(
-        np.array_equal(ours, theirs) for ours, theirs in zip(grouped, perlane())
+        np.array_equal(ours, theirs) for ours, theirs in zip(grouped, perlane(), strict=True)
     )
 
     seq_seconds = _best_of(perlane)
@@ -343,7 +343,7 @@ def bench_feedback_flush():
     grouped(*state_batch)
     parity = all(
         np.array_equal(ours, theirs)
-        for ours, theirs in zip(state_seq, state_batch)
+        for ours, theirs in zip(state_seq, state_batch, strict=True)
     )
 
     seq_seconds = _best_of(

@@ -93,7 +93,7 @@ def popularity_to_rank(
     sample = next(iter(awareness_distributions.values()))
     m = sample.size - 1
     ranks = np.ones_like(x_values)
-    for q, count in zip(quality_values, quality_counts):
+    for q, count in zip(quality_values, quality_counts, strict=True):
         f = awareness_distributions[float(q)]
         # Suffix sums: tail[j] = P(awareness >= j / m).
         tail = np.concatenate([np.cumsum(f[::-1])[::-1], [0.0]])

@@ -110,7 +110,7 @@ class SolvedModel:
         levels = np.arange(m + 1, dtype=float) / m
         numerator = 0.0
         denominator = 0.0
-        for q, count in zip(self.quality_values, self.quality_counts):
+        for q, count in zip(self.quality_values, self.quality_counts, strict=True):
             f = self.awareness_by_quality[float(q)]
             visits = np.clip(np.asarray(self.visit_rate(levels * q), dtype=float), 0.0, None)
             weighted = count * float(np.dot(f, visits))
@@ -252,7 +252,7 @@ class SteadyStateSolver:
             z_new = float(
                 sum(
                     count * awareness_by_quality[float(q)][0]
-                    for q, count in zip(q_values, q_counts)
+                    for q, count in zip(q_values, q_counts, strict=True)
                 )
             )
             # Damp the promotion-pool size too: the pool size and the

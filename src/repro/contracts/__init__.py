@@ -1,0 +1,43 @@
+"""AST-based contract linter for the repository's determinism invariants.
+
+``python -m repro.contracts`` (or the ``repro-contracts`` entry point)
+statically enforces the contracts the test suite can only probe
+dynamically: seeded-RNG threading, kernel purity, OCC write discipline,
+schema lockfiles.  See :mod:`repro.contracts.core` for the framework and
+``repro.contracts.rules`` for the individual checks.
+"""
+
+from repro.contracts import rules  # noqa: F401  (import-for-registration)
+from repro.contracts.core import (
+    CONTRACTS_VERSION,
+    FILE_RULES,
+    PROJECT_RULES,
+    FileContext,
+    FileRule,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    all_rules,
+    check_file,
+    check_project,
+    register,
+)
+from repro.contracts.runner import LintReport, discover, lint_paths
+
+__all__ = [
+    "CONTRACTS_VERSION",
+    "FILE_RULES",
+    "PROJECT_RULES",
+    "FileContext",
+    "FileRule",
+    "Finding",
+    "LintReport",
+    "ProjectContext",
+    "ProjectRule",
+    "all_rules",
+    "check_file",
+    "check_project",
+    "discover",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.contracts`` entry point."""
+
+import sys
+
+from repro.contracts.cli import main
+
+sys.exit(main())

@@ -1,0 +1,79 @@
+"""Per-file result cache keyed on content hash and rule-set version.
+
+Re-linting an unchanged tree should cost file reads and hashing, nothing
+else: the cache maps ``sha256(file bytes)`` (plus the rule-set version
+and the rule selection) to the file's serialized findings.  Keying on
+content rather than mtime makes the cache safe under checkouts and
+worktree switches; bumping :data:`~repro.contracts.core.CONTRACTS_VERSION`
+invalidates everything when rule semantics change.
+
+The cache file lives at ``.contracts-cache.json`` under the repository
+root and is best-effort: unreadable or corrupt caches are discarded, and
+a read-only tree simply never persists one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.contracts.core import CONTRACTS_VERSION, Finding
+
+CACHE_NAME = ".contracts-cache.json"
+
+
+def content_key(data: bytes, rule_ids: Tuple[str, ...]) -> str:
+    digest = hashlib.sha256()
+    digest.update(CONTRACTS_VERSION.encode())
+    digest.update("|".join(rule_ids).encode())
+    digest.update(data)
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Load-mutate-save wrapper over the JSON cache file."""
+
+    def __init__(self, repo_root: Path, enabled: bool = True) -> None:
+        self.path = repo_root / CACHE_NAME
+        self.enabled = enabled
+        self._entries: Dict[str, List[Dict]] = {}
+        self._dirty = False
+        if enabled and self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+                if payload.get("version") == CONTRACTS_VERSION:
+                    self._entries = payload.get("files", {})
+            except (ValueError, OSError):
+                self._entries = {}
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        if not self.enabled:
+            return None
+        cached = self._entries.get(key)
+        if cached is None:
+            return None
+        return [Finding.from_dict(entry) for entry in cached]
+
+    def put(self, key: str, findings: List[Finding]) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = [finding.to_dict() for finding in findings]
+        self._dirty = True
+
+    def save(self) -> None:
+        if not (self.enabled and self._dirty):
+            return
+        try:
+            self.path.write_text(
+                json.dumps(
+                    {"version": CONTRACTS_VERSION, "files": self._entries},
+                    sort_keys=True,
+                )
+            )
+        except OSError:  # pragma: no cover - read-only checkouts
+            pass
+
+
+__all__ = ["CACHE_NAME", "ResultCache", "content_key"]

@@ -1,0 +1,235 @@
+"""Command line driver: ``repro-contracts`` / ``python -m repro.contracts``.
+
+Exit status: 0 when every finding is suppressed (or none exist), 1 when
+unsuppressed findings remain, 2 on usage errors.  ``--self-test``
+verifies the linter itself still has teeth by injecting known
+violations into a scratch copy of ``serving/state.py`` and requiring
+them to be caught — the same trust-but-verify move as
+``benchmarks/check_regression.py --self-test``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.contracts.core import all_rules, check_file
+from repro.contracts.reporters import render_json, render_text
+from repro.contracts.rules.telemetry_lock import (
+    LOCKFILE_REL,
+    RECORDER_REL,
+    read_base_fields,
+    write_lockfile,
+)
+from repro.contracts.runner import lint_paths
+
+
+def find_repo_root(start: Path) -> Path:
+    """Walk upward until a directory containing ``src/repro`` appears."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    # Installed-package fallback: src/repro/contracts/cli.py -> repo root.
+    return Path(__file__).resolve().parents[3]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-contracts",
+        description="AST-based contract linter for repro invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="only run the named rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update .contracts-cache.json",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="worker process count (default: auto, capped by REPRO_MAX_WORKERS)",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="repository root (default: walk up from the first path)",
+    )
+    parser.add_argument(
+        "--write-locks",
+        action="store_true",
+        help="refresh the telemetry schema lockfile from the live BASE_FIELDS",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the linter catches injected violations, then exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed findings in text output",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        kind = "project" if not hasattr(rule, "applies_to") else "file"
+        lines.append("%-28s %-8s %s" % (rule.rule_id, kind, rule.description))
+        if rule.origin:
+            lines.append("%-28s %-8s origin: %s" % ("", "", rule.origin))
+    return "\n".join(lines)
+
+
+def _write_locks(root: Path) -> int:
+    recorder = root / RECORDER_REL
+    if not recorder.exists():
+        print("no recorder at %s" % recorder, file=sys.stderr)
+        return 2
+    fields = read_base_fields(recorder)
+    if fields is None:
+        print("BASE_FIELDS is not statically parseable", file=sys.stderr)
+        return 2
+    lock = root / LOCKFILE_REL
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    write_lockfile(lock, fields)
+    print("wrote %d field(s) to %s" % (len(fields), lock))
+    return 0
+
+
+_INJECTIONS = (
+    # (rule expected to fire, line of python appended inside the state
+    #  module at top level / method scope as noted)
+    ("no-unseeded-rng", "_SELFTEST_RNG = np.random.default_rng()\n"),
+    (
+        "occ-write-discipline",
+        "def _selftest_unlocked_bump(state):\n"
+        "    state._header[0] = 5\n",
+    ),
+)
+
+
+def run_self_test(root: Path) -> int:
+    """Inject known violations into a scratch copy of serving/state.py.
+
+    The linter must flag every injection; a clean pass on corrupted
+    input means the rules have silently stopped firing and the gate is
+    theater.
+    """
+    source_path = root / "src/repro/serving/state.py"
+    if not source_path.exists():
+        print("self-test: %s missing" % source_path, file=sys.stderr)
+        return 2
+    original = source_path.read_text()
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="contracts-selftest-") as tmp:
+        for rule_id, injection in _INJECTIONS:
+            scratch = Path(tmp) / ("state_%s.py" % rule_id.replace("-", "_"))
+            scratch.write_text(original + "\n\n" + injection)
+            findings = check_file(
+                scratch,
+                root,
+                rel="src/repro/serving/state.py",
+                rule_ids=[rule_id],
+            )
+            if not any(f.rule == rule_id and not f.suppressed for f in findings):
+                failures.append(rule_id)
+        # The pristine copy must stay clean, or the probe proves nothing.
+        pristine = Path(tmp) / "state_clean.py"
+        pristine.write_text(original)
+        clean = check_file(pristine, root, rel="src/repro/serving/state.py")
+        if any(not f.suppressed for f in clean):
+            failures.append("clean-baseline")
+    if failures:
+        print("self-test FAILED: %s" % ", ".join(failures), file=sys.stderr)
+        return 1
+    print("self-test OK: %d injected violation(s) caught" % len(_INJECTIONS))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    first = Path(args.paths[0]) if args.paths else Path.cwd()
+    root = Path(args.root).resolve() if args.root else find_repo_root(first)
+
+    if args.write_locks:
+        return _write_locks(root)
+    if args.self_test:
+        return run_self_test(root)
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        known = {rule.rule_id for rule in all_rules()}
+        unknown = sorted(set(rule_ids) - known)
+        if unknown:
+            parser.error("unknown rule id(s): %s" % ", ".join(unknown))
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error("no such path: %s" % ", ".join(str(p) for p in missing))
+
+    report = lint_paths(
+        paths,
+        root,
+        rule_ids=rule_ids,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
+    if args.format == "json":
+        selected = sorted(rule_ids) if rule_ids else sorted(
+            rule.rule_id for rule in all_rules()
+        )
+        rendered = render_json(report, str(root), selected)
+    else:
+        rendered = render_text(report, verbose=args.verbose)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+    else:
+        print(rendered)
+    return 1 if report.active else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Render a :class:`~repro.contracts.runner.LintReport` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.contracts.core import CONTRACTS_VERSION
+from repro.contracts.runner import LintReport
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-oriented listing: active findings, then a one-line summary."""
+    lines: List[str] = [f.render() for f in report.active]
+    if verbose:
+        lines.extend(f.render() for f in report.suppressed)
+    summary = (
+        "checked %d file(s) (%d cached): %d finding(s), %d suppressed "
+        "[%.2fs]"
+        % (
+            report.checked_files,
+            report.cached_files,
+            len(report.active),
+            len(report.suppressed),
+            report.elapsed_seconds,
+        )
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, root: str, rules: List[str]) -> str:
+    """Machine-oriented payload for the CI artifact."""
+    payload = {
+        "version": CONTRACTS_VERSION,
+        "root": root,
+        "checked_files": report.checked_files,
+        "cached_files": report.cached_files,
+        "rules": rules,
+        "findings": [f.to_dict() for f in report.active],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "elapsed_seconds": round(report.elapsed_seconds, 4),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+__all__ = ["render_json", "render_text"]

@@ -1,0 +1,96 @@
+"""bench-extra-info-keys: every gated floor metric exists in the code.
+
+The CI regression gate (``benchmarks/check_regression.py``) floors the
+``extra_info`` metrics named in ``benchmarks/baselines/bench-floor.json``
+— but the gate only compares keys that *appear* in the benchmark JSON.
+A metric that gets renamed in the bench driver while its floor keeps the
+old name is silently unfloored: the gate reports nothing, the regression
+ships.  This rule closes the loop statically: every floored key must
+occur as a string literal somewhere under ``src/`` or ``benchmarks/``
+(or extend a literal prefix ending in ``_``, covering families like the
+per-shard ``qps_shard_<i>`` keys built at runtime).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Set
+
+from repro.contracts.core import Finding, ProjectContext, ProjectRule, register
+
+FLOOR_REL = "benchmarks/baselines/bench-floor.json"
+_SCAN_ROOTS = ("src", "benchmarks")
+
+
+def _string_literals(root: Path) -> Set[str]:
+    literals: Set[str] = set()
+    for path in root.rglob("*.py"):
+        if "__pycache__" in path.parts:
+            continue
+        try:
+            tree = ast.parse(path.read_text())
+        except SyntaxError:
+            continue  # the syntax-error file rule reports this
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                literals.add(node.value)
+    return literals
+
+
+@register
+class BenchExtraInfoKeys(ProjectRule):
+    rule_id = "bench-extra-info-keys"
+    description = (
+        "floored bench-floor.json metric keys must exist as string "
+        "literals in src/ or benchmarks/ (no silently-unfloored gates)"
+    )
+    origin = "PR 3: benchmark regression gate over extra_info ratio floors"
+
+    def check_project(self, ctx: ProjectContext) -> List[Finding]:
+        import json
+
+        floor_path = ctx.repo_root / FLOOR_REL
+        if not floor_path.exists():
+            return []  # partial trees (fixture runs) have nothing to check
+        try:
+            payload = json.loads(floor_path.read_text())
+        except ValueError as error:
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    path=FLOOR_REL,
+                    line=1,
+                    col=1,
+                    message="bench-floor.json does not parse: %s" % error,
+                )
+            ]
+        keys: Set[str] = set()
+        for metrics in payload.get("benchmarks", {}).values():
+            keys.update(metrics)
+        literals: Set[str] = set()
+        for root in _SCAN_ROOTS:
+            scan_root = ctx.repo_root / root
+            if scan_root.is_dir():
+                literals |= _string_literals(scan_root)
+        prefixes = [s for s in literals if s.endswith("_") and len(s) >= 4]
+        findings: List[Finding] = []
+        for key in sorted(keys):
+            if key in literals:
+                continue
+            if any(key.startswith(prefix) for prefix in prefixes):
+                continue
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=FLOOR_REL,
+                    line=1,
+                    col=1,
+                    message=(
+                        "floored metric %r is not produced by any string "
+                        "literal under src/ or benchmarks/ — the gate would "
+                        "silently stop flooring it" % key
+                    ),
+                )
+            )
+        return findings

@@ -1,0 +1,137 @@
+"""frozen-config-mutation: ServingConfig is data, never mutated in place.
+
+``ServingConfig`` is the frozen JSON-round-trippable deployment
+description that crosses process boundaries verbatim (PR 8): the parent
+validates it once and every worker/client rebuilds identical state from
+it.  An attribute assignment on a config instance would raise
+``FrozenInstanceError`` at runtime — but only on the code path that
+executes.  This rule catches the write statically: assignments through
+a name bound from a ``ServingConfig`` constructor / ``from_json`` /
+``from_dict`` / ``.replace`` call, or through the conventional
+``config``-named locals and ``.config`` attributes, are violations
+everywhere except the dataclass's own ``__init__``/``__post_init__``
+and ``replace``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.contracts.core import FileContext, FileRule, Finding, call_name, register
+
+#: Call targets whose result is (or copies) a ServingConfig.
+_CONSTRUCTORS = (
+    "ServingConfig",
+    "ServingConfig.from_json",
+    "ServingConfig.from_dict",
+    "serving_config_from_args",
+)
+
+#: Names conventionally bound to a ServingConfig in this tree.
+_CONFIG_NAMES = {"config", "cfg", "serving_config"}
+
+_ALLOWED_METHODS = {"__init__", "__post_init__", "replace"}
+
+
+def _config_bound_names(scope: ast.AST) -> Set[str]:
+    """Names assigned from a ServingConfig-producing call in ``scope``."""
+    names: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = call_name(node.value)
+            if callee.split(".")[-1] == "replace" or any(
+                callee == c or callee.endswith("." + c) for c in _CONSTRUCTORS
+            ):
+                if callee.split(".")[-1] == "replace" and not (
+                    isinstance(node.value.func, ast.Attribute)
+                    and _names_config(node.value.func.value)
+                ):
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            try:
+                annotation = ast.unparse(node.annotation)
+            except Exception:  # pragma: no cover
+                continue
+            if "ServingConfig" in annotation:
+                names.add(node.target.id)
+    return names
+
+
+def _config_annotated_params(scope: ast.AST) -> Set[str]:
+    """Parameter names annotated as ServingConfig in ``scope``'s signature."""
+    names: Set[str] = set()
+    args = scope.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.annotation is None:
+            continue
+        try:
+            annotation = ast.unparse(arg.annotation)
+        except Exception:  # pragma: no cover - unparse is total here
+            continue
+        if "ServingConfig" in annotation:
+            names.add(arg.arg)
+    return names
+
+
+def _names_config(node: ast.AST) -> bool:
+    """True for ``config``-style names and ``<x>.config`` attributes."""
+    if isinstance(node, ast.Name):
+        return node.id in _CONFIG_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _CONFIG_NAMES
+    return False
+
+
+@register
+class FrozenConfigMutation(FileRule):
+    rule_id = "frozen-config-mutation"
+    description = (
+        "forbid attribute assignment to ServingConfig instances outside "
+        "__init__/__post_init__/replace; use config.replace(...)"
+    )
+    origin = "PR 8: frozen cross-process ServingConfig construction surface"
+    include = ("src/repro/",)
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if "ServingConfig" not in ctx.source and not any(
+            name in ctx.source for name in _CONFIG_NAMES
+        ):
+            return []
+        findings: List[Finding] = []
+        bound = _config_bound_names(ctx.tree)
+        for scope in ast.walk(ctx.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if scope.name in _ALLOWED_METHODS:
+                continue
+            local = bound | _config_bound_names(scope)
+            local |= _config_annotated_params(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    owner = target.value
+                    is_config = (
+                        isinstance(owner, ast.Name) and owner.id in local
+                    ) or _names_config(owner)
+                    if is_config:
+                        findings.append(
+                            ctx.finding(
+                                self.rule_id,
+                                node,
+                                "attribute store %r on a ServingConfig: the "
+                                "config is frozen data; build a new one with "
+                                "config.replace(%s=...)"
+                                % (target.attr, target.attr),
+                            )
+                        )
+        return findings

@@ -1,0 +1,113 @@
+"""numba-backend-purity: JIT kernels keep RNG and the pow ufunc on numpy.
+
+PR 4's stubbed-njit parity harness discovered that numpy's SIMD float64
+``pow`` and libm's ``pow`` (what ``**`` lowers to inside a numba nest)
+disagree in the last ulp — enough to break the bit-parity contract
+between backends.  The fix was a discipline, not a patch: every RNG draw
+and every float pow is precomputed by numpy *outside* the JIT region and
+passed in as an array.  This rule pins that discipline: inside any
+``@njit``-decorated function, calls into ``np.random``, ``np.power``,
+float ``**`` exponents and ``objmode`` escapes are violations.
+
+Integer-constant exponents (``x ** 2``) are exempt: they lower to exact
+multiplies on both sides and carry no ulp hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.contracts.core import FileContext, FileRule, Finding, call_name, register
+
+
+def _is_njit_decorated(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        try:
+            name = ast.unparse(target)
+        except Exception:  # pragma: no cover - unparse is total here
+            continue
+        if name.split(".")[-1] in ("njit", "jit", "guvectorize", "vectorize"):
+            return True
+    return False
+
+
+@register
+class NumbaBackendPurity(FileRule):
+    rule_id = "numba-backend-purity"
+    description = (
+        "inside @njit functions, forbid np.random.*, np.power/float **, "
+        "and objmode escapes (RNG and pow stay on numpy for bit parity)"
+    )
+    origin = "PR 4: numpy SIMD pow != libm pow by 1 ulp; RNG parity mandate"
+    include = ("src/repro/",)
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if _is_njit_decorated(node):
+                findings.extend(self._check_kernel(ctx, node))
+        return findings
+
+    def _check_kernel(self, ctx: FileContext, kernel: ast.AST) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(kernel):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                parts = name.split(".")
+                if len(parts) >= 3 and parts[-3] in ("np", "numpy") and (
+                    parts[-2] == "random"
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self.rule_id,
+                            node,
+                            "RNG draw %s inside an @njit kernel: parity "
+                            "mandates all draws happen in numpy outside the "
+                            "JIT region" % name,
+                        )
+                    )
+                elif name in ("np.power", "numpy.power", "math.pow", "pow"):
+                    findings.append(
+                        ctx.finding(
+                            self.rule_id,
+                            node,
+                            "%s inside an @njit kernel lowers to libm pow, "
+                            "which differs from numpy's SIMD pow by 1 ulp; "
+                            "precompute the pow pass in numpy" % name,
+                        )
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+                exponent = node.right
+                if isinstance(exponent, ast.Constant) and isinstance(
+                    exponent.value, int
+                ):
+                    continue  # x ** 2 lowers to exact multiplies
+                findings.append(
+                    ctx.finding(
+                        self.rule_id,
+                        node,
+                        "float ** inside an @njit kernel lowers to libm pow "
+                        "(1-ulp mismatch vs numpy's SIMD pow); precompute "
+                        "the pow pass in numpy and pass the array in",
+                    )
+                )
+            elif isinstance(node, ast.withitem):
+                try:
+                    expr = ast.unparse(node.context_expr)
+                except Exception:  # pragma: no cover
+                    continue
+                if "objmode" in expr:
+                    findings.append(
+                        ctx.finding(
+                            self.rule_id,
+                            node.context_expr,
+                            "objmode escape inside an @njit kernel reopens "
+                            "the interpreter mid-nest; hoist the object work "
+                            "out of the kernel",
+                        )
+                    )
+        return findings

@@ -1,0 +1,63 @@
+"""kernel-registry-discipline: backends resolve through the registry.
+
+Backend selection (``REPRO_KERNEL_BACKEND``, ``--backend``, the numba
+import-failure fallback, telemetry's span instrumentation proxy) all
+live in ``repro.core.kernels.get_backend``/``use_backend``.  A module
+that imports ``numpy_backend``/``numba_backend`` symbols directly pins
+one backend, skips the fallback path, and — worse — bypasses the
+instrumentation hook, so its kernel calls vanish from the span table.
+Shared helpers the engines legitimately need (``merge_repair``,
+``ROUTE_STATS``) are re-exported by ``repro.core.kernels`` itself;
+import them from there.
+
+Tests and benchmarks are exempt by scope: parity suites compare the two
+backend singletons on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.contracts.core import FileContext, FileRule, Finding, register
+
+_BACKEND_MODULES = ("numpy_backend", "numba_backend")
+
+
+@register
+class KernelRegistryDiscipline(FileRule):
+    rule_id = "kernel-registry-discipline"
+    description = (
+        "obtain backends via get_backend/use_backend; never import "
+        "numpy_backend/numba_backend symbols outside core/kernels"
+    )
+    origin = "PR 4: kernel dispatch registry with fallback + instrumentation"
+    include = ("src/repro/",)
+    exclude = ("src/repro/core/kernels/",)
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[-1] in _BACKEND_MODULES:
+                    findings.append(self._finding(ctx, node, module))
+                elif module.endswith("core.kernels") or module == "kernels":
+                    for alias in node.names:
+                        if alias.name in _BACKEND_MODULES:
+                            findings.append(self._finding(ctx, node, alias.name))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[-1] in _BACKEND_MODULES:
+                        findings.append(self._finding(ctx, node, alias.name))
+        return findings
+
+    def _finding(self, ctx: FileContext, node: ast.AST, module: str) -> Finding:
+        return ctx.finding(
+            self.rule_id,
+            node,
+            "direct import of %s pins one backend and bypasses the "
+            "registry's fallback and instrumentation; use "
+            "repro.core.kernels.get_backend/use_backend (shared helpers "
+            "are re-exported by repro.core.kernels)" % module,
+        )

@@ -1,0 +1,105 @@
+"""no-unseeded-rng: every random draw comes from a caller-threaded seed.
+
+Bit-parity across the looped simulator, the batch engine, the lockstep
+sweep and the serving replay only holds because every generator in the
+tree descends deterministically from the experiment's root seed (via
+``repro.utils.rng``).  One ``np.random.default_rng()`` with no argument,
+one module-level ``np.random.shuffle`` or one stdlib ``random`` call
+breaks that silently — the run still "works", it just stops being
+reproducible, and only a lucky hypothesis case would notice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.contracts.core import FileContext, FileRule, Finding, call_name, register
+
+#: ``np.random`` attributes that are deterministic constructors/types, not
+#: module-level stream draws.
+_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+@register
+class NoUnseededRng(FileRule):
+    rule_id = "no-unseeded-rng"
+    description = (
+        "forbid np.random.default_rng() with no seed, module-level "
+        "np.random.* draws, and the stdlib random module"
+    )
+    origin = "PR 2: _deterministic_order requires a caller rng; bit-parity contract"
+    include = ("src/repro/",)
+    # The as_rng funnel is the one designed None -> fresh-entropy door;
+    # everything else must thread a RandomSource through it.
+    exclude = ("src/repro/utils/rng.py",)
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(
+                            ctx.finding(
+                                self.rule_id,
+                                node,
+                                "stdlib 'random' is banned: draws bypass the "
+                                "seeded numpy generator chain; use "
+                                "repro.utils.rng.as_rng",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    findings.append(
+                        ctx.finding(
+                            self.rule_id,
+                            node,
+                            "stdlib 'random' is banned: draws bypass the "
+                            "seeded numpy generator chain; use "
+                            "repro.utils.rng.as_rng",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name.endswith("np.random.default_rng") or name == (
+                    "numpy.random.default_rng"
+                ):
+                    if not node.args and not node.keywords:
+                        findings.append(
+                            ctx.finding(
+                                self.rule_id,
+                                node,
+                                "np.random.default_rng() without a seed draws "
+                                "OS entropy; thread the caller's RandomSource "
+                                "(repro.utils.rng.as_rng) instead",
+                            )
+                        )
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _CONSTRUCTORS
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self.rule_id,
+                            node,
+                            "module-level np.random.%s() draws from the "
+                            "global legacy stream; draw from a seeded "
+                            "Generator instead" % parts[2],
+                        )
+                    )
+        return findings

@@ -1,0 +1,160 @@
+"""telemetry-schema-append-only: BASE_FIELDS never reorders or renames.
+
+The sliding-window counter layout in ``repro.telemetry.recorder`` is the
+wire format of the JSONL telemetry rows AND the hot-path cumulative
+indices the recorder bumps by position (PR 6/7/9 all appended for this
+reason).  Reordering, renaming or removing a field silently corrupts
+every dashboard and every committed baseline that reads the stream.
+
+The committed schema lives in ``src/repro/contracts/telemetry_fields.lock``
+(one field per line).  The lock must be an exact prefix of the live
+``BASE_FIELDS`` tuple; a legal append still fails until the lockfile is
+refreshed (``python -m repro.contracts --write-locks``), so schema drift
+is always an explicit, reviewed diff.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.contracts.core import Finding, ProjectContext, ProjectRule, register
+
+RECORDER_REL = "src/repro/telemetry/recorder.py"
+LOCKFILE_REL = "src/repro/contracts/telemetry_fields.lock"
+
+
+def read_base_fields(recorder_path: Path) -> Optional[Tuple[str, ...]]:
+    """Extract the BASE_FIELDS tuple of string literals, or None."""
+    tree = ast.parse(recorder_path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "BASE_FIELDS" in names and isinstance(
+                node.value, (ast.Tuple, ast.List)
+            ):
+                fields = []
+                for element in node.value.elts:
+                    if not isinstance(element, ast.Constant) or not isinstance(
+                        element.value, str
+                    ):
+                        return None
+                    fields.append(element.value)
+                return tuple(fields)
+    return None
+
+
+def read_lockfile(lock_path: Path) -> Tuple[str, ...]:
+    fields = []
+    for line in lock_path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            fields.append(line)
+    return tuple(fields)
+
+
+def write_lockfile(lock_path: Path, fields: Tuple[str, ...]) -> None:
+    lines = [
+        "# Committed telemetry counter schema (append-only contract).",
+        "# Regenerate with: python -m repro.contracts --write-locks",
+    ]
+    lines.extend(fields)
+    lock_path.write_text("\n".join(lines) + "\n")
+
+
+@register
+class TelemetrySchemaAppendOnly(ProjectRule):
+    rule_id = "telemetry-schema-append-only"
+    description = (
+        "BASE_FIELDS must extend the committed lockfile exactly: no "
+        "reorder, rename or removal; appends refresh the lock"
+    )
+    origin = "PR 6: windowed counter wire format; PR 7/9 appended under it"
+
+    def check_project(self, ctx: ProjectContext) -> List[Finding]:
+        recorder = ctx.repo_root / RECORDER_REL
+        lock = ctx.repo_root / LOCKFILE_REL
+        if not recorder.exists():
+            return []  # partial trees (fixture runs) have nothing to check
+        current = read_base_fields(recorder)
+        if current is None:
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    path=RECORDER_REL,
+                    line=1,
+                    col=1,
+                    message=(
+                        "BASE_FIELDS is not a tuple of string literals; the "
+                        "schema must stay statically parseable"
+                    ),
+                )
+            ]
+        if not lock.exists():
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    path=LOCKFILE_REL,
+                    line=1,
+                    col=1,
+                    message=(
+                        "telemetry schema lockfile is missing; create it "
+                        "with --write-locks and commit it"
+                    ),
+                )
+            ]
+        locked = read_lockfile(lock)
+        findings: List[Finding] = []
+        overlap = min(len(locked), len(current))
+        for position, (want, have) in enumerate(
+            zip(locked[:overlap], current[:overlap], strict=True)
+        ):
+            if want != have:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=RECORDER_REL,
+                        line=1,
+                        col=1,
+                        message=(
+                            "BASE_FIELDS[%d] is %r but the committed schema "
+                            "pins %r: fields are append-only (hot-path "
+                            "cumulative indices and the JSONL wire format "
+                            "depend on positions)" % (position, have, want)
+                        ),
+                    )
+                )
+        if len(current) < len(locked):
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=RECORDER_REL,
+                    line=1,
+                    col=1,
+                    message=(
+                        "BASE_FIELDS dropped %d committed field(s) (%s): "
+                        "fields are append-only"
+                        % (
+                            len(locked) - len(current),
+                            ", ".join(locked[len(current):]),
+                        )
+                    ),
+                )
+            )
+        elif len(current) > len(locked) and not findings:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=LOCKFILE_REL,
+                    line=1,
+                    col=1,
+                    message=(
+                        "BASE_FIELDS appended %s but the lockfile was not "
+                        "refreshed; run python -m repro.contracts "
+                        "--write-locks and commit the diff"
+                        % ", ".join(repr(f) for f in current[len(locked):])
+                    ),
+                )
+            )
+        return findings

@@ -1,0 +1,99 @@
+"""no-wall-clock-in-kernels: deterministic paths never read the clock.
+
+The core kernels, the community/visits math and the analysis layer are
+the bit-parity surface: two runs at equal seeds must be equal bit for
+bit, and a wall-clock read is the classic way nondeterminism sneaks in
+(timestamped tie-breaks, time-dependent branching).  Timing belongs to
+the telemetry spans module and the bench drivers, which live outside
+this rule's scope on purpose — the one allowlisted *consumer* of kernel
+timings is ``repro.telemetry.spans``, which wraps backends from the
+outside rather than reading clocks inside them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.contracts.core import FileContext, FileRule, Finding, call_name, register
+
+#: Dotted call targets that read a clock.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Suffixes catching ``from datetime import datetime; datetime.now()``.
+_CLOCK_SUFFIXES = ("datetime.now", "datetime.utcnow", "date.today")
+
+#: Names importable from ``time``/``datetime`` that read a clock when
+#: called bare (``from time import perf_counter``).
+_CLOCK_BARE = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+
+@register
+class NoWallClockInKernels(FileRule):
+    rule_id = "no-wall-clock-in-kernels"
+    description = (
+        "forbid time.time/perf_counter/datetime.now in the deterministic "
+        "core (kernels, community, visits, metrics, analysis, webgraph)"
+    )
+    origin = "PR 4-5: kernel bit-parity contract across backends and modes"
+    include = (
+        "src/repro/core/",
+        "src/repro/community/",
+        "src/repro/visits/",
+        "src/repro/metrics/",
+        "src/repro/analysis/",
+        "src/repro/webgraph/",
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        clock_aliases = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "time",
+                "datetime",
+            ):
+                for alias in node.names:
+                    if alias.name in _CLOCK_BARE:
+                        clock_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if (
+                name in _CLOCK_CALLS
+                or name.endswith(_CLOCK_SUFFIXES)
+                or name in clock_aliases
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.rule_id,
+                        node,
+                        "%s() reads the wall clock inside a deterministic "
+                        "path; timing belongs in repro.telemetry.spans or "
+                        "the bench drivers" % name,
+                    )
+                )
+        return findings

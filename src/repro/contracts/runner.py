@@ -1,0 +1,135 @@
+"""File discovery and the file-parallel lint driver.
+
+The full tree is ~100 files; one process parses and checks it in well
+under a second warm, but the runner still shards uncached files across
+a process pool (sized by :func:`repro.utils.parallel.default_workers`,
+so ``REPRO_MAX_WORKERS`` caps it like every other parallel path here)
+once the uncached batch is large enough to amortize worker startup.
+Cached files never leave the parent process.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.contracts.cache import ResultCache, content_key
+from repro.contracts.core import Finding, check_file, check_project
+from repro.utils.parallel import default_workers
+
+#: Below this many uncached files a process pool costs more than it saves.
+_PARALLEL_THRESHOLD = 24
+
+_SKIP_PARTS = {"__pycache__", ".git", ".contracts-cache.json"}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    cached_files: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that gate the exit status (not suppressed)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+
+def discover(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of python sources."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not (_SKIP_PARTS & set(p.parts))
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    seen = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _lint_one(args: Tuple[str, str, Optional[Tuple[str, ...]]]) -> List[Finding]:
+    path, repo_root, rule_ids = args
+    return check_file(Path(path), Path(repo_root), rule_ids=rule_ids)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    repo_root: Path,
+    rule_ids: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) under ``repo_root``.
+
+    Returns every finding including suppressed ones;
+    :attr:`LintReport.active` is what a gate should fail on.  Project
+    rules (lockfile, bench keys) run once per call regardless of which
+    files were selected.
+    """
+    started = time.perf_counter()
+    rule_tuple = tuple(sorted(rule_ids)) if rule_ids is not None else ("*",)
+    files = discover([Path(p) for p in paths])
+    cache = ResultCache(repo_root, enabled=use_cache)
+    report = LintReport()
+
+    pending: List[Tuple[Path, str]] = []
+    for path in files:
+        key = content_key(path.read_bytes(), rule_tuple)
+        cached = cache.get(key)
+        if cached is not None:
+            report.findings.extend(cached)
+            report.cached_files += 1
+        else:
+            pending.append((path, key))
+
+    results: List[List[Finding]] = []
+    if pending:
+        workers = jobs if jobs is not None else default_workers(len(pending))
+        if len(pending) >= _PARALLEL_THRESHOLD and workers > 1:
+            work = [
+                (str(path), str(repo_root), None if rule_ids is None else rule_tuple)
+                for path, _ in pending
+            ]
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = list(pool.map(_lint_one, work, chunksize=8))
+            except (OSError, ValueError):  # pragma: no cover - no semaphores
+                results = []
+        if not results:
+            results = [
+                check_file(path, repo_root, rule_ids=rule_ids)
+                for path, _ in pending
+            ]
+        for (path, key), findings in zip(pending, results, strict=True):
+            cache.put(key, findings)
+            report.findings.extend(findings)
+
+    report.findings.extend(check_project(repo_root, files, rule_ids=rule_ids))
+    report.checked_files = len(files)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    cache.save()
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+__all__ = ["LintReport", "discover", "lint_paths"]

@@ -41,11 +41,14 @@ from contextlib import contextmanager
 from typing import Dict, List, Optional
 
 from repro.core.kernels.api import (  # noqa: F401  (re-exported API surface)
+    ROUTE_STATS,
     KernelBackend,
+    RankRouteStats,
     TIE_BREAKERS,
     VALID_KERNELS,
     check_tie_breaker,
     draw_tie_keys,
+    merge_repair,
 )
 
 #: Environment variable naming the default backend for the process tree.
@@ -204,9 +207,12 @@ def _reset_dispatch_state() -> None:
 
 __all__ = [
     "KernelBackend",
+    "RankRouteStats",
+    "ROUTE_STATS",
     "TIE_BREAKERS",
     "VALID_KERNELS",
     "ENV_VAR",
+    "merge_repair",
     "available_backends",
     "get_backend",
     "get_kernel_instrumentation",

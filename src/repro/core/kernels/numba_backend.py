@@ -381,10 +381,8 @@ class NumbaKernelBackend(NumpyKernelBackend):
         # differences, so the result remains bit-identical.  The bounded
         # insertion route is exact by construction (the bound is checked
         # on every shift, not estimated), so no verify rows are returned.
-        from repro.core.kernels.numpy_backend import (
-            ADAPTIVE_MAX_MOVED_FRACTION,
-            ROUTE_STATS,
-        )
+        from repro.core.kernels.api import ROUTE_STATS
+        from repro.core.kernels.numpy_backend import ADAPTIVE_MAX_MOVED_FRACTION
 
         R, n = negated.shape
         out = np.empty((R, n), dtype=np.int64)

@@ -26,9 +26,12 @@ import numpy as np
 
 from repro.community.page import awareness_gain_batch
 from repro.core.kernels.api import (
+    ROUTE_STATS,
     KernelBackend,
+    RankRouteStats,  # noqa: F401  (back-compat re-export; moved to api)
     check_tie_breaker,
     draw_tie_keys,
+    merge_repair,
 )
 from repro.utils.validation import check_probability
 from repro.visits.allocation import allocate_monitored_visits_batch
@@ -72,103 +75,10 @@ ADAPTIVE_WINDOW_PROBES = 512
 ADAPTIVE_WINDOW_MIN = 8
 
 
-class RankRouteStats:
-    """Cumulative per-row counters for the adaptive ``rank_day`` router.
-
-    One module-level instance (:data:`ROUTE_STATS`) is shared by every
-    backend: the numba backend updates the same object, so callers
-    (benches, :class:`~repro.simulation.batch.BatchSimulator` telemetry,
-    sweep resorts) sample route mix without caring which backend ran.
-    Counters only ever increase; callers snapshot before/after a region
-    and difference the totals.  ``displacement_sum``/``displacement_max``
-    track the estimated (numpy) or realized (numba) per-row displacement
-    bound of rows that took the windowed route.
-    """
-
-    __slots__ = (
-        "copy",
-        "run_merge",
-        "windowed",
-        "full",
-        "displacement_sum",
-        "displacement_max",
-    )
-
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        self.copy = 0
-        self.run_merge = 0
-        self.windowed = 0
-        self.full = 0
-        self.displacement_sum = 0
-        self.displacement_max = 0
-
-    def record_windowed(self, rows: int, displacement_sum: int, displacement_max: int) -> None:
-        self.windowed += rows
-        self.displacement_sum += displacement_sum
-        if displacement_max > self.displacement_max:
-            self.displacement_max = displacement_max
-
-    def as_dict(self) -> dict:
-        return {
-            "rank_route_copy": self.copy,
-            "rank_route_run_merge": self.run_merge,
-            "rank_route_windowed": self.windowed,
-            "rank_route_full": self.full,
-            "rank_displacement_sum": self.displacement_sum,
-            "rank_displacement_max": self.displacement_max,
-        }
-
-
-#: The shared route-mix counter (see :class:`RankRouteStats`).
-ROUTE_STATS = RankRouteStats()
-
 #: Thread-local packed-key buffer of the windowed sort
 #: (:meth:`NumpyKernelBackend._windowed_sort_rows`): reused across days so
 #: the route does not fault in a fresh ~(rows, n) arena every call.
 _WINDOWED_SCRATCH = threading.local()
-
-
-def merge_repair(
-    order: np.ndarray,
-    popularity: np.ndarray,
-    dirty: np.ndarray,
-    scratch: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Exact O(n + d log d) merge repair of one maintained descending order.
-
-    The single-lane reference shared by ``ServingEngine._repair_order`` and
-    the grouped :meth:`NumpyKernelBackend.lane_repair` kernel — one
-    implementation, so lane-by-lane and grouped repairs cannot drift.  The
-    ``dirty`` pages are extracted, sorted by descending popularity (stable
-    over their ascending page index), and merged back *after* their
-    equal-popularity keeps (``side="right"``), which is where a re-sorted
-    tie group would place them.
-
-    Returns ``(merged_order, scratch)``; ``scratch`` is the reusable
-    all-``False`` boolean mask, handed back so hot callers can keep it.
-    """
-    n = order.size
-    if scratch is None or scratch.size != n:
-        scratch = np.zeros(n, dtype=bool)
-    scratch[dirty] = True
-    keep = order[~scratch[order]]
-    scratch[dirty] = False  # leave the scratch clean for the next repair
-    moved = dirty[np.argsort(-popularity[dirty], kind="stable")]
-    positions = np.searchsorted(-popularity[keep], -popularity[moved], side="right")
-    # Equivalent to np.insert(keep, positions, moved) — positions are
-    # nondecreasing (moved is sorted), so each inserted element lands at
-    # its original position plus the number of insertions before it —
-    # without np.insert's generic-case overhead on the serving hot path.
-    merged = np.empty(n, dtype=order.dtype)
-    slots = positions + np.arange(moved.size)
-    keep_mask = np.ones(n, dtype=bool)
-    keep_mask[slots] = False
-    merged[slots] = moved
-    merged[keep_mask] = keep
-    return merged, scratch
 
 
 class NumpyKernelBackend(KernelBackend):
@@ -573,7 +483,7 @@ class NumpyKernelBackend(KernelBackend):
             breaks = np.flatnonzero(np.diff(pairs) > 1)
             run_starts = np.concatenate(([0], breaks + 1))
             run_ends = np.concatenate((breaks, [pairs.size - 1]))
-            for lo, hi in zip(run_starts, run_ends):
+            for lo, hi in zip(run_starts, run_ends, strict=True):
                 a, b = pairs[lo], pairs[hi] + 2  # run spans positions a..b-1
                 members = np.sort(perm[row, a:b])
                 if tie_breaker == "random":
@@ -810,7 +720,7 @@ class NumpyKernelBackend(KernelBackend):
     ) -> List[np.ndarray]:
         repaired: List[np.ndarray] = []
         scratch: Optional[np.ndarray] = None  # shared across equal-size lanes
-        for lane_order, lane_pop, lane_dirty in zip(orders, popularity, dirty):
+        for lane_order, lane_pop, lane_dirty in zip(orders, popularity, dirty, strict=True):
             merged, scratch = merge_repair(lane_order, lane_pop, lane_dirty, scratch)
             repaired.append(merged)
         return repaired

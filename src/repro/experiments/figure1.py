@@ -9,6 +9,8 @@ reports the two ratios plus the relative improvement.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.experiments.results import ExperimentResult
@@ -16,7 +18,7 @@ from repro.livestudy.experiment import LiveStudyConfig, LiveStudyExperiment
 from repro.utils.rng import RandomSource, spawn_rngs
 
 
-def run(scale: str = "fast", seed: RandomSource = 0, repetitions: int = None) -> ExperimentResult:
+def run(scale: str = "fast", seed: RandomSource = 0, repetitions: Optional[int] = None) -> ExperimentResult:
     """Run the two-group live study and report funny-vote ratios.
 
     ``scale`` only affects the number of repetitions (the study itself is

@@ -9,6 +9,8 @@ analytical model and reports the two shaded areas.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis.spec import RankingSpec
@@ -24,7 +26,7 @@ def run(
     quality: float = 0.4,
     r: float = 0.2,
     k: int = 1,
-    horizon_days: int = None,
+    horizon_days: Optional[int] = None,
 ) -> ExperimentResult:
     """Compute visit-rate trajectories with and without rank promotion."""
     settings = scaled_settings(scale)

@@ -59,7 +59,7 @@ def run(
         levels = np.arange(m + 1, dtype=float) / m
         probabilities, _ = np.histogram(levels, bins=edges, weights=distribution)
         series = result.add_series(name)
-        for center, probability in zip(centers, probabilities):
+        for center, probability in zip(centers, probabilities, strict=True):
             series.add(center, probability)
 
     result.notes["shape_check"] = (

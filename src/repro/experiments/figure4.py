@@ -8,6 +8,8 @@ for selective and uniform promotion, analysis and simulation side by side.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.analysis.spec import RankingSpec
@@ -25,7 +27,7 @@ def run_panel_a(
     quality: float = 0.4,
     r: float = 0.2,
     k: int = 1,
-    horizon_days: int = None,
+    horizon_days: Optional[int] = None,
 ) -> ExperimentResult:
     """Popularity evolution of a quality-``quality`` page (analysis)."""
     settings = scaled_settings(scale)

@@ -23,7 +23,7 @@ class SeriesResult:
 
     def as_rows(self) -> List[tuple]:
         """Rows of ``(series, x, y)`` for tabular output."""
-        return [(self.name, xv, yv) for xv, yv in zip(self.x, self.y)]
+        return [(self.name, xv, yv) for xv, yv in zip(self.x, self.y, strict=True)]
 
 
 @dataclass

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 
 def awareness_histogram(
-    awareness: np.ndarray, bins: int = 10, weights: np.ndarray = None
+    awareness: np.ndarray, bins: int = 10, weights: Optional[np.ndarray] = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Histogram of awareness values over ``[0, 1]``.
 

@@ -232,6 +232,7 @@ class FeedbackJournal:
             if entry.kind == "commit":
                 rng = None
                 if entry.rng_state is not None:
+                    # contracts: ignore[no-unseeded-rng] -- the bit-generator state is overwritten from the journal entry on the next line; no entropy is ever drawn
                     rng = np.random.default_rng()
                     rng.bit_generator.state = entry.rng_state
                 state.apply_visits_at(entry.indices, entry.visits, rng=rng)

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.community.config import CommunityConfig
 from repro.community.lifecycle import Lifecycle, PoissonLifecycle
-from repro.core.kernels.numpy_backend import merge_repair
+from repro.core.kernels import merge_repair
 from repro.core.policy import RECOMMENDED_POLICY, RankPromotionPolicy
 from repro.core.rankers import RandomizedPromotionRanker
 from repro.core.rankers_context import RankingContext

@@ -86,7 +86,7 @@ def _worker_main(
     for spec in specs:
         states = [
             SharedPopularityState.attach(handle, lock)
-            for handle, lock in zip(handles[spec.tenant], locks[spec.tenant])
+            for handle, lock in zip(handles[spec.tenant], locks[spec.tenant], strict=True)
         ]
         routers[spec.tenant] = build_router(config, seed=spec.seed, states=states)
         workloads[spec.tenant] = StreamingWorkload(
@@ -431,7 +431,7 @@ class ServingPool:
         if clients < 1:
             return []
         barrier = self._context.Barrier(clients) if clients > 1 else None
-        targets = list(zip(self.handles[tenant], self.locks[tenant]))
+        targets = list(zip(self.handles[tenant], self.locks[tenant], strict=True))
         processes = []
         for index in range(clients):
             process = self._context.Process(
@@ -618,7 +618,7 @@ def run_pool_benchmark(
 
     def drive(pool: ServingPool) -> float:
         started = time.perf_counter()
-        for batch_index in range(batches_per_tenant):
+        for _batch_index in range(batches_per_tenant):
             for tenant in range(pool.config.tenants):
                 pool.submit(tenant, per_batch)
         return started

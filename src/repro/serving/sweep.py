@@ -17,7 +17,7 @@ therefore advances the stream one **window** at a time (windows end at the
 trace's flush/day boundaries, :meth:`RecordedTrace.boundaries`):
 
 * each variant's shard lane serves at most one *distinct* result page per
-  window, so the R × window_length standalone ``serve`` calls collapse to
+  window, so the R x window_length standalone ``serve`` calls collapse to
   at most one cache validate-on-read per lane (the OCC version-stamp check)
   plus arithmetic hit accounting;
 * the lanes whose stamps went stale recompute **together**: fresh lanes
@@ -60,7 +60,7 @@ from repro.core.batch_rank import (
     batched_prefix_promotion_slots,
 )
 from repro.core.kernels import get_backend
-from repro.core.kernels.numpy_backend import ROUTE_STATS
+from repro.core.kernels import ROUTE_STATS
 from repro.core.policy import VALID_RULES, RankPromotionPolicy
 from repro.serving.cache import page_key
 from repro.serving.engine import ServingEngine
@@ -467,7 +467,7 @@ class _VariantReplay:
 
         router.queries_routed += window
         per_shard = router.queries_per_shard
-        for lane_index, count in zip(lanes, counts):
+        for lane_index, count in zip(lanes, counts, strict=True):
             lane_index = int(lane_index)
             per_shard[lane_index] += int(count)
             engine = self.lanes[lane_index].engine
@@ -574,7 +574,7 @@ class ServingSweep:
                 ),
                 self.attention,
             )
-            for variant, child in zip(variants, seeds)
+            for variant, child in zip(variants, seeds, strict=True)
         ]
         self._inverse: Optional[np.ndarray] = None  # set per run()
         self._stack_lane_state()
@@ -665,7 +665,7 @@ class ServingSweep:
         self, telemetry, baselines: List[Dict[str, float]], start: int, end: int
     ) -> None:
         """Emit per-variant counter deltas for one trace window."""
-        for replay, baseline in zip(self._replays, baselines):
+        for replay, baseline in zip(self._replays, baselines, strict=True):
             current = replay.router.stats()
             row: Dict[str, float] = {
                 "kind": "sweep",
@@ -874,7 +874,7 @@ class ServingSweep:
         )
 
         randomized: List[Tuple[_VariantReplay, int]] = []
-        for (replay, lane_index), engine in zip(stale, engines):
+        for (replay, lane_index), engine in zip(stale, engines, strict=True):
             if replay.deterministic:
                 k = replay.lanes[lane_index].k
                 replay.store_page(lane_index, engine._order[:k].copy())
@@ -943,13 +943,13 @@ class ServingSweep:
                 engine._order = orders[row].copy()
                 engine.full_sorts += 1
         backend = get_backend()
-        for n, entries in repairs.items():
+        for _n, entries in repairs.items():
             repaired = backend.lane_repair(
                 [engine._order for engine, _ in entries],
                 [engine.state.popularity for engine, _ in entries],
                 [dirty for _, dirty in entries],
             )
-            for (engine, _), order in zip(entries, repaired):
+            for (engine, _), order in zip(entries, repaired, strict=True):
                 engine._order = order
                 engine.repairs += 1
 
@@ -1073,7 +1073,7 @@ class SweepResult:
     def rows(self) -> List[Dict[str, float]]:
         """Flat per-variant metric rows for tables and figure drivers."""
         rows = []
-        for variant, result in zip(self.variants, self.results):
+        for variant, result in zip(self.variants, self.results, strict=True):
             row: Dict[str, float] = {
                 "k": float(variant.k),
                 "r": float(variant.r),
@@ -1103,7 +1103,7 @@ class SweepResult:
             title="sweep over %d variants (%d queries each)"
             % (self.replicates, self.queries),
         )
-        for variant, result in zip(self.variants, self.results):
+        for variant, result in zip(self.variants, self.results, strict=True):
             table.add_row(
                 variant.label(),
                 result.queries,
@@ -1327,7 +1327,7 @@ def run_sweep_benchmark(
     if check_parity:
         parity = all(
             ours.matches(theirs)
-            for ours, theirs in zip(sweep.results, independent)
+            for ours, theirs in zip(sweep.results, independent, strict=True)
         )
 
     recorder = None

@@ -37,7 +37,7 @@ from repro.community.lifecycle import Lifecycle, PoissonLifecycle
 from repro.community.page import BatchPagePool
 from repro.core.kernels import get_backend
 from repro.core.rankers import Ranker
-from repro.core.kernels.numpy_backend import ROUTE_STATS
+from repro.core.kernels import ROUTE_STATS
 from repro.core.rankers_context import BatchRankingContext
 from repro.metrics.qpc import QPCAccumulator
 from repro.metrics.tbp import tbp_from_trajectory

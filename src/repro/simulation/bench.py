@@ -23,7 +23,7 @@ from typing import Dict, Optional
 
 from repro.community.config import CommunityConfig, DEFAULT_COMMUNITY
 from repro.core.kernels import get_backend, use_backend
-from repro.core.kernels.numpy_backend import ROUTE_STATS
+from repro.core.kernels import ROUTE_STATS
 from repro.core.policy import RankPromotionPolicy, RECOMMENDED_POLICY
 from repro.simulation.config import SimulationConfig
 from repro.simulation.runner import _run_replicates
@@ -142,7 +142,7 @@ def run_simulation_benchmark(
     # sequential runs exactly.
     parity = all(
         s.qpc_absolute == b.qpc_absolute
-        for s, b in zip(sequential, batch[:baseline_replicates])
+        for s, b in zip(sequential, batch[:baseline_replicates], strict=True)
     ) if check_parity else None
 
     report: Dict[str, float] = {

@@ -80,7 +80,7 @@ class Simulator:
         awareness_observer = (
             AwarenessSnapshotObserver() if config.snapshot_awareness else None
         )
-        observers: List[Observer] = [qpc_observer] + self.extra_observers
+        observers: List[Observer] = [qpc_observer, *self.extra_observers]
         if awareness_observer is not None:
             observers.append(awareness_observer)
 

@@ -122,7 +122,7 @@ class TraceReplayResult:
             and len(self.final_awareness) == len(other.final_awareness)
             and all(
                 np.array_equal(a, b)
-                for a, b in zip(self.final_awareness, other.final_awareness)
+                for a, b in zip(self.final_awareness, other.final_awareness, strict=True)
             )
         )
 

@@ -303,7 +303,7 @@ class TelemetryRecorder:
         """Per-row route counts one adaptive ``rank_day`` region took.
 
         Callers difference the shared kernel-layer
-        :data:`~repro.core.kernels.numpy_backend.ROUTE_STATS` counters
+        :data:`~repro.core.kernels.api.ROUTE_STATS` counters
         around a region (a simulated day, a sweep resort window) and feed
         the deltas here; ``displacement_sum`` totals the windowed rows'
         estimated (numpy) or realized (numba) displacement bounds.
@@ -426,7 +426,7 @@ class TelemetryRecorder:
         benchmark report (and its ``extra_info``) without collisions.
         """
         report: Dict[str, float] = {}
-        for name, value in zip(self.window.fields, self.window.cumulative):
+        for name, value in zip(self.window.fields, self.window.cumulative, strict=True):
             report["telemetry_%s" % name] = value
         report["telemetry_events"] = float(self.window.events)
         lookups = report["telemetry_cache_hits"] + report["telemetry_cache_misses"]

@@ -118,7 +118,7 @@ class SlidingWindowCounters:
         start_event, started, base = self._ring[0]
         now = time.perf_counter()
         values = [
-            current - origin for current, origin in zip(self.cumulative, base)
+            current - origin for current, origin in zip(self.cumulative, base, strict=True)
         ]
         return start_event, self.events, now - started, values
 
@@ -131,7 +131,7 @@ class SlidingWindowCounters:
             "window_events": float(end_event - start_event),
             "window_seconds": elapsed,
         }
-        for name, value in zip(self.fields, values):
+        for name, value in zip(self.fields, values, strict=True):
             row[name] = value
         return row
 

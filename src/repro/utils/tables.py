@@ -55,7 +55,7 @@ def format_series(name: str, xs: Iterable, ys: Iterable) -> str:
     lines = [name]
     lines.extend(
         "  %s -> %s" % (_format_cell(x), _format_cell(y))
-        for x, y in zip(xs, ys)
+        for x, y in zip(xs, ys, strict=True)
     )
     return "\n".join(lines)
 

@@ -1,7 +1,7 @@
 """Web-graph substrate: link-based popularity signals on synthetic graphs.
 
 The paper measures popularity by "in-link count, PageRank, user traffic, or
-some other indicator"; its model abstracts all of them into the awareness ×
+some other indicator"; its model abstracts all of them into the awareness x
 quality popularity signal.  This package provides the concrete link-based
 substrate so that the same ranking experiments can be driven by an explicit
 evolving web graph instead of the abstract signal:

@@ -96,7 +96,7 @@ class EvolvingWebGraph:
         if not indices:
             return
         kept_sources, kept_targets = [], []
-        for source, target in zip(self.sources, self.targets):
+        for source, target in zip(self.sources, self.targets, strict=True):
             if source in indices or target in indices:
                 continue
             kept_sources.append(source)
@@ -110,7 +110,7 @@ class EvolvingWebGraph:
 
     def edges(self) -> List[Tuple[int, int]]:
         """Current edge list."""
-        return list(zip(self.sources, self.targets))
+        return list(zip(self.sources, self.targets, strict=True))
 
     def popularity(self) -> np.ndarray:
         """Popularity vector in ``[0, 1]`` according to the configured signal."""

@@ -1,0 +1,17 @@
+"""Fixture: replace()-based evolution the frozen-config rule accepts."""
+
+from repro.serving.config import ServingConfig
+
+
+def evolve(base: ServingConfig):
+    wider = base.replace(tenants=base.tenants * 2)
+    return wider
+
+
+def build(payload):
+    config = ServingConfig.from_json(payload)
+    return config.replace(cache_capacity=None)
+
+
+def read_only(config: ServingConfig):
+    return config.tenants, config.shards

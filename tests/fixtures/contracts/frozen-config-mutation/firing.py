@@ -1,0 +1,29 @@
+"""Fixture: in-place config writes the frozen-config rule must flag."""
+
+from repro.serving.config import ServingConfig
+
+
+def mutate_constructed():
+    config = ServingConfig(tenants=2)
+    config.tenants = 4  # frozen dataclass: would raise at runtime
+    return config
+
+
+def mutate_parsed(payload):
+    parsed = ServingConfig.from_json(payload)
+    parsed.shards = 8
+    return parsed
+
+
+def mutate_through_attribute(router):
+    router.config.cache_capacity = 0
+
+
+def mutate_annotated(base: ServingConfig):
+    base.k = 20
+    return base
+
+
+class Holder:
+    def tweak(self):
+        self.config.staleness_budget += 1

@@ -1,0 +1,10 @@
+"""Fixture: suppressed config write with rationale."""
+
+from repro.serving.config import ServingConfig
+
+
+def build_mutable_shim(payload):
+    config = ServingConfig.from_json(payload)
+    # contracts: ignore[frozen-config-mutation] -- fixture: object.__setattr__-style shim documented at the call site
+    config.label = "shim"
+    return config

@@ -1,0 +1,17 @@
+"""Fixture: registry-mediated backend access the rule accepts."""
+
+from repro.core.kernels import ROUTE_STATS, get_backend, merge_repair, use_backend
+
+
+def dispatch(scores, ages, rngs):
+    backend = get_backend()
+    return backend.rank_day(scores, ages, "random", rngs)
+
+
+def pinned_region(name):
+    with use_backend(name) as backend:
+        return backend.describe(), ROUTE_STATS.as_dict()
+
+
+def repair(order, popularity, dirty):
+    return merge_repair(order, popularity, dirty)

@@ -1,0 +1,13 @@
+"""Fixture: direct backend imports the registry rule must flag."""
+
+import repro.core.kernels.numba_backend as nb  # direct module import
+from repro.core.kernels import numpy_backend  # member import of a backend
+from repro.core.kernels.numpy_backend import NumpyKernelBackend
+
+
+def pinned_backend():
+    return NumpyKernelBackend()
+
+
+def pinned_module():
+    return numpy_backend.BACKEND, nb.BACKEND

@@ -1,0 +1,8 @@
+"""Fixture: suppressed direct backend import with rationale."""
+
+# contracts: ignore[kernel-registry-discipline] -- fixture: parity harness compares the raw singletons on purpose
+from repro.core.kernels.numpy_backend import BACKEND
+
+
+def reference():
+    return BACKEND

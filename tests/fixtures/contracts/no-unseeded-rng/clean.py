@@ -1,0 +1,16 @@
+"""Fixture: seeded-generator usage the no-unseeded-rng rule must accept."""
+
+import numpy as np
+
+
+def seeded(seed):
+    return np.random.default_rng(seed)
+
+
+def constructors(seed):
+    sequence = np.random.SeedSequence(seed)
+    return np.random.Generator(np.random.PCG64(sequence))
+
+
+def draw_from_threaded(rng, n):
+    return rng.random(n)

@@ -1,0 +1,22 @@
+"""Fixture: every way the no-unseeded-rng rule must fire."""
+
+import random  # stdlib random import
+
+import numpy as np
+
+
+def entropy_seeded():
+    return np.random.default_rng()  # no seed: OS entropy
+
+
+def legacy_global_draw(n):
+    return np.random.random(n)  # module-level legacy stream
+
+
+def legacy_shuffle(items):
+    np.random.shuffle(items)
+    return items
+
+
+def stdlib_draw():
+    return random.random()

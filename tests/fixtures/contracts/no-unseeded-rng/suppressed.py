@@ -1,0 +1,14 @@
+"""Fixture: rationale-bearing suppressions the rule must honor."""
+
+import numpy as np
+
+
+def state_overwritten_later(saved_state):
+    rng = np.random.default_rng()  # contracts: ignore[no-unseeded-rng] -- fixture: state is overwritten below
+    rng.bit_generator.state = saved_state
+    return rng
+
+
+def own_line_suppression(n):
+    # contracts: ignore[no-unseeded-rng] -- fixture: comment-above form covers the next line
+    return np.random.random(n)

@@ -1,0 +1,10 @@
+"""Fixture: deterministic code the wall-clock rule must accept."""
+
+
+def pure_kernel(values):
+    return sum(v * v for v in values)
+
+
+def simulated_days(day_index, horizon):
+    # Simulation time is an integer day counter, never the wall clock.
+    return min(day_index + 1, horizon)

@@ -1,0 +1,23 @@
+"""Fixture: clock reads the no-wall-clock-in-kernels rule must flag."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def timed_kernel(values):
+    started = time.perf_counter()
+    total = sum(values)
+    return total, time.perf_counter() - started
+
+
+def bare_alias():
+    return perf_counter()
+
+
+def stamped():
+    return datetime.now()
+
+
+def epoch():
+    return time.time()

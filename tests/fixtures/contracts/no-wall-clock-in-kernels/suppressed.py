@@ -1,0 +1,7 @@
+"""Fixture: suppressed clock read with rationale."""
+
+import time
+
+
+def coarse_progress_stamp():
+    return time.time()  # contracts: ignore[no-wall-clock-in-kernels] -- fixture: progress logging only, never feeds results

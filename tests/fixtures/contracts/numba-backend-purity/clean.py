@@ -1,0 +1,20 @@
+"""Fixture: pure kernels and outside-nest precomputation the rule accepts."""
+
+import numpy as np
+from numba import njit
+
+
+@njit(parallel=True, fastmath=False)
+def pure_kernel(values, pow_precomputed):
+    # The float pow pass arrives as an array computed by numpy outside.
+    total = 0.0
+    for i in range(values.size):
+        total += values[i] * pow_precomputed[i] + values[i] ** 2
+    return total
+
+
+def host_side(rng, values, decay):
+    # RNG draws and the float pow stay in numpy, outside the JIT region.
+    noise = rng.random(values.size)
+    pow_pass = values**decay
+    return pure_kernel(values + noise, pow_pass)

@@ -1,0 +1,26 @@
+"""Fixture: impurities the numba-backend-purity rule must flag."""
+
+import numpy as np
+from numba import njit, objmode
+
+
+@njit(cache=True)
+def kernel_with_rng(n):
+    return np.random.random(n)  # RNG inside the JIT nest
+
+
+@njit
+def kernel_with_float_pow(base, decay):
+    return base**decay  # float ** lowers to libm pow
+
+
+@njit
+def kernel_with_power_call(values):
+    return np.power(values, 0.5)
+
+
+@njit
+def kernel_with_objmode(values):
+    with objmode(out="float64[:]"):
+        out = values.copy()
+    return out

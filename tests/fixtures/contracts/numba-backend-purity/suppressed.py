@@ -1,0 +1,11 @@
+"""Fixture: suppressed kernel impurity with rationale."""
+
+from numba import njit
+
+
+@njit
+def integer_pow_table(base, exponents):
+    out = base
+    # contracts: ignore[numba-backend-purity] -- fixture: exponent is provably integral here, no ulp hazard
+    out = out**exponents
+    return out

@@ -1,0 +1,26 @@
+"""Fixture: contract-method and under-lock stores the rule accepts."""
+
+
+class DisciplinedState:
+    def __init__(self, n):
+        self.version = 0  # constructors lay out private state
+        self._dirty_mask = [False] * n
+
+    def commit_visits_at(self, indices, visits, version):
+        with self._lock:
+            if version != self.version:
+                return False
+            self._popularity[indices] = visits
+            self.version += 1
+        return True
+
+    def bump_version(self):
+        with self._lock:
+            self.version += 1
+
+    def helper_under_lock(self, indices):
+        with self._lock:
+            self._dirty_mask[indices] = True
+
+    def read_only(self):
+        return self.version

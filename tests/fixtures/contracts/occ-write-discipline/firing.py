@@ -1,0 +1,19 @@
+"""Fixture: unprotected stores the occ-write-discipline rule must flag."""
+
+
+class LeakyState:
+    def sneak_version_bump(self):
+        self.version += 1  # not a contract method, no lock
+
+    def poke_header(self, value):
+        self._header[0] = value
+
+    def fix_up_awareness(self, pool, touched, values):
+        pool.aware_count[touched] = values
+
+    def overwrite_quality(self, fresh):
+        self.quality = fresh
+
+
+def module_level_patch(state):
+    state._dirty_mask[:] = False

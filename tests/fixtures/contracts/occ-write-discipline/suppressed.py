@@ -1,0 +1,6 @@
+"""Fixture: suppressed unprotected store with rationale."""
+
+
+class SingleProcessState:
+    def reset_for_tests(self):
+        self.version = 0  # contracts: ignore[occ-write-discipline] -- fixture: test-only reset before any worker attaches

@@ -71,7 +71,7 @@ class TestFluidParity:
         sequential, batch = _paired_results(
             batch_community, RankPromotionPolicy(rule, k, r), config
         )
-        for seq_result, batch_result in zip(sequential, batch):
+        for seq_result, batch_result in zip(sequential, batch, strict=True):
             assert seq_result.qpc_absolute == batch_result.qpc_absolute
             assert seq_result.qpc_normalized == batch_result.qpc_normalized
             assert np.array_equal(seq_result.quality, batch_result.quality)
@@ -87,7 +87,7 @@ class TestFluidParity:
         sequential, batch = _paired_results(
             batch_community, RankPromotionPolicy("selective", 1, 0.2), config
         )
-        for seq_result, batch_result in zip(sequential, batch):
+        for seq_result, batch_result in zip(sequential, batch, strict=True):
             assert np.array_equal(
                 seq_result.probe_trajectory, batch_result.probe_trajectory
             )
@@ -107,7 +107,7 @@ class TestFluidParity:
             batch_community, RankPromotionPolicy("selective", 1, 0.1), config,
             surfing=surfing, repetitions=3, seed=13, engine="batch",
         )
-        for seq_result, batch_result in zip(sequential, batch):
+        for seq_result, batch_result in zip(sequential, batch, strict=True):
             assert seq_result.qpc_absolute == batch_result.qpc_absolute
             assert np.array_equal(
                 seq_result.final_awareness, batch_result.final_awareness
@@ -160,7 +160,7 @@ class TestStochasticConsistency:
         sequential, batch = _paired_results(
             batch_community, policy, config, repetitions=3, seed=8
         )
-        for seq_result, batch_result in zip(sequential, batch):
+        for seq_result, batch_result in zip(sequential, batch, strict=True):
             assert np.array_equal(
                 seq_result.final_awareness, batch_result.final_awareness
             )
@@ -259,7 +259,7 @@ class TestBatchedOrderKernel:
 class TestBatchedMergeKernel:
     def test_merge_counts_match_merge_positions(self):
         rng = np.random.default_rng(0)
-        for trial in range(200):
+        for _trial in range(200):
             n = int(rng.integers(1, 40))
             n_promoted = int(rng.integers(0, n + 1))
             k = int(rng.integers(1, n + 2))
@@ -283,7 +283,7 @@ class TestBatchedMergeKernel:
 
     def test_promotion_merge_matches_sequential_ranker(self, rng):
         # Full ranker-level comparison across many random pool shapes.
-        for trial in range(25):
+        for _trial in range(25):
             n = int(rng.integers(5, 80))
             popularity = np.round(rng.random(n), 2)
             awareness = rng.random(n)

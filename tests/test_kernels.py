@@ -416,7 +416,7 @@ class TestAdaptiveRankDay:
             )
 
     @pytest.mark.parametrize(
-        "backend_name", ["numpy"] + (["numba"] if HAVE_NUMBA else [])
+        "backend_name", ["numpy", *(["numba"] if HAVE_NUMBA else [])]
     )
     def test_run_merge_threshold_boundary(self, backend_name):
         """Rows exactly at ``4 * breaks == max_moved`` route deterministically.
@@ -521,7 +521,7 @@ class TestAdaptiveRankDay:
                 simulator.pool.aware_count.copy(),
                 simulator.pool.page_ids.copy(),
             )
-        for ours, theirs in zip(outcomes[False], outcomes[True]):
+        for ours, theirs in zip(outcomes[False], outcomes[True], strict=True):
             np.testing.assert_array_equal(ours, theirs)
 
     def test_run_batch_adaptive_parity(self, kernel_community):
@@ -831,7 +831,7 @@ class TestNumbaBitParity:
                     simulator.pool.aware_count.copy(),
                     simulator.pool.page_ids.copy(),
                 )
-        for ours, theirs in zip(results["numpy"], results["numba"]):
+        for ours, theirs in zip(results["numpy"], results["numba"], strict=True):
             np.testing.assert_array_equal(ours, theirs)
 
     @given(seed=st.integers(0, 2**31 - 1))
@@ -873,7 +873,7 @@ class TestNumbaBitParity:
             with use_backend(name):
                 sweep = ServingSweep(kernel_community, variants, seed=seed % 97)
                 rows[name] = sweep.run(trace)
-        for ours, theirs in zip(rows["numpy"], rows["numba"]):
+        for ours, theirs in zip(rows["numpy"], rows["numba"], strict=True):
             assert ours.matches(theirs)
 
     @given(seed=st.integers(0, 2**31 - 1))
@@ -924,7 +924,7 @@ class TestNumbaBitParity:
             pop[i, d] = np.round(rng.random(5), 1)
         a = NUMPY_BACKEND.lane_repair(orders, list(pop), dirty)
         b = numba_backend.lane_repair(orders, list(pop), dirty)
-        for ours, theirs in zip(a, b):
+        for ours, theirs in zip(a, b, strict=True):
             np.testing.assert_array_equal(ours, theirs)
 
         aware_a = np.floor(rng.random(n) * 9)

@@ -36,7 +36,7 @@ class TestIdealQpc:
         assert ideal_qpc(quality, UniformAttention()) == pytest.approx(0.25)
 
     def test_rank_bias_weights_best_pages(self):
-        quality = np.array([0.0] * 9 + [0.4])
+        quality = np.array([*([0.0] * 9), 0.4])
         assert ideal_qpc(quality) > np.mean(quality)
 
     def test_independent_of_input_order(self):

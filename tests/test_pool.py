@@ -197,7 +197,7 @@ class TestServingPool:
         # full-resort branch and demand it stays invisible downstream.
         for adaptive_engine, plain_engine in zip(
             adaptive.engines, plain.engines
-        ):
+        , strict=True):
             touched = np.arange(adaptive_engine.state.n)
             adaptive_engine.apply_feedback(touched)
             plain_engine.apply_feedback(touched)
@@ -232,7 +232,7 @@ class TestServingPool:
             )
         assert results[0][0] == results[1][0]
         assert results[0][1] == results[1][1]
-        for left, right in zip(results[0][2], results[1][2]):
+        for left, right in zip(results[0][2], results[1][2], strict=True):
             assert np.array_equal(left, right)
 
     def test_backpressure_counts_when_inbox_is_full(self):

@@ -167,7 +167,7 @@ class TestRetryPolicy:
             policy.backoff_seconds(c, np.random.default_rng(7)) for c in (1, 2, 3, 9)
         ]
         assert first == second  # seeded jitter replays exactly
-        for conflict_count, backoff in zip((1, 2, 3, 9), first):
+        for conflict_count, backoff in zip((1, 2, 3, 9), first, strict=True):
             ceiling = min(4e-3, 1e-3 * 2.0 ** (conflict_count - 1))
             assert 0.5 * ceiling <= backoff <= ceiling
 

@@ -91,14 +91,14 @@ class TestBuildRouter:
             staleness_budget=2,
             seed=5,
         )
-        for new_engine, old_engine in zip(via_config.engines, via_shim.engines):
+        for new_engine, old_engine in zip(via_config.engines, via_shim.engines, strict=True):
             assert np.array_equal(new_engine.state.quality, old_engine.state.quality)
         stats_config = run_stream(
             via_config, 300, workload=StreamingWorkload(seed=11)
         )
         stats_shim = run_stream(via_shim, 300, workload=StreamingWorkload(seed=11))
         assert stats_config.feedback_events == stats_shim.feedback_events
-        for new_engine, old_engine in zip(via_config.engines, via_shim.engines):
+        for new_engine, old_engine in zip(via_config.engines, via_shim.engines, strict=True):
             assert np.array_equal(
                 new_engine.state.pool.aware_count, old_engine.state.pool.aware_count
             )
@@ -168,7 +168,7 @@ class TestRouterRobustnessState:
 
 class TestCliServingConfig:
     def parse(self, argv):
-        return build_parser().parse_args(["serve-bench"] + argv)
+        return build_parser().parse_args(["serve-bench", *argv])
 
     def test_defaults_build_in_process_config(self):
         config = serving_config_from_args(self.parse([]))

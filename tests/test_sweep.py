@@ -344,7 +344,7 @@ def test_run_sweep_worker_sharding_identical(sweep_community):
     single = run_sweep(sweep_community, variants, trace, seed=2, n_workers=1)
     sharded = run_sweep(sweep_community, variants, trace, seed=2, n_workers=2)
     assert len(single.results) == len(sharded.results) == len(variants)
-    for ours, theirs in zip(single.results, sharded.results):
+    for ours, theirs in zip(single.results, sharded.results, strict=True):
         assert ours.matches(theirs)
     assert single.queries == trace.n_queries
     assert single.total_queries == trace.n_queries * len(variants)

@@ -399,7 +399,7 @@ class TestWindowedVsAggregate:
         (row,) = [r for r in recorder.rows if r["kind"] == "window"]
         assert row["event_start"] == 0.0
         assert row["event_end"] == 400.0
-        totals = dict(zip(recorder.window.fields, recorder.window.cumulative))
+        totals = dict(zip(recorder.window.fields, recorder.window.cumulative, strict=True))
         for field, total in totals.items():
             assert row[field] == total  # bit for bit
         # And the recorder agrees with the serving stack's own books.

@@ -45,7 +45,7 @@ class TestSpawnRngs:
     def test_reproducible_for_same_seed(self):
         first = [g.random(3) for g in spawn_rngs(9, 3)]
         second = [g.random(3) for g in spawn_rngs(9, 3)]
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert np.allclose(a, b)
 
     def test_spawn_from_generator(self):
